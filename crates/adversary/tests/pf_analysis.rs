@@ -1,0 +1,345 @@
+//! Integration tests: the paper's analysis (Section 4) as executable
+//! checks over full `P_F` runs against the entire manager suite.
+
+use pcb_adversary::{optimal_rho, PfConfig, PfProgram, PfVariant, RobsonProgram};
+use pcb_alloc::ManagerKind;
+use pcb_heap::{Execution, Heap, Program, Report};
+
+const M: u64 = 1 << 14;
+const LOG_N: u32 = 10;
+
+fn run_pf(kind: ManagerKind, c: u64, variant: PfVariant) -> (Report, PfProgram) {
+    let cfg = PfConfig::new(M, LOG_N, c)
+        .expect("feasible")
+        .with_variant(variant)
+        .with_validation();
+    let mut exec = Execution::new(Heap::new(c), PfProgram::new(cfg), kind.build(c, M, LOG_N));
+    let report = exec.run().expect("P_F runs to completion");
+    let (_, program, _) = exec.into_parts();
+    (report, program)
+}
+
+#[test]
+fn theorem_1_holds_for_every_manager_in_the_suite() {
+    // The lower bound says: EVERY c-partial manager serving P_F uses heap
+    // at least M·h. (The tiny tolerance absorbs floor effects at this
+    // scaled-down M; at the paper's parameters the slack vanishes.)
+    for c in [10u64, 20, 50] {
+        let (_, h) = optimal_rho(M, LOG_N, c).unwrap();
+        for kind in ManagerKind::ALL {
+            let (report, program) = run_pf(kind, c, PfVariant::FULL);
+            assert!(
+                report.waste_factor >= h * 0.95,
+                "c={c} {kind}: waste {} < h {h}",
+                report.waste_factor
+            );
+            assert!(
+                program.violations().is_empty(),
+                "c={c} {kind}: {:?}",
+                program.violations()
+            );
+        }
+    }
+}
+
+#[test]
+fn potential_is_a_lower_bound_on_heap_size() {
+    // u(t_finish) ≤ HS: the potential never overstates the heap.
+    for c in [10u64, 50] {
+        for kind in ManagerKind::ALL {
+            let (report, program) = run_pf(kind, c, PfVariant::FULL);
+            let u = program.potential().expect("stage II ran");
+            assert!(
+                u <= report.heap_size as i128,
+                "c={c} {kind}: u = {u} > HS = {}",
+                report.heap_size
+            );
+            assert!(u > 0, "c={c} {kind}: the potential should be substantial");
+        }
+    }
+}
+
+#[test]
+fn budget_is_always_respected() {
+    for c in [10u64, 20] {
+        for kind in ManagerKind::COMPACTING {
+            let (report, _) = run_pf(kind, c, PfVariant::FULL);
+            assert!(
+                report.moved_fraction <= 1.0 / c as f64 + 1e-12,
+                "c={c} {kind}: moved {}",
+                report.moved_fraction
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_4_5_stage_one_potential() {
+    // Run P_F round by round; at the end of stage I (the first stage-II
+    // round builds the association), the potential must be at least
+    // M(ρ+2)/2 − 2^ρ·q₁ − n/4.
+    let c = 50u64;
+    let cfg = PfConfig::new(M, LOG_N, c).unwrap().with_validation();
+    let rho = cfg.rho;
+    let mut exec = Execution::new(
+        Heap::new(c),
+        PfProgram::new(cfg),
+        ManagerKind::FirstFit.build(c, M, LOG_N),
+    );
+    let mut obs = pcb_heap::NullObserver;
+    // Rounds 0..=2ρ−1 are stage I; round 2ρ starts stage II. Run through
+    // round 2ρ (whose shed/alloc only increase u).
+    for _ in 0..=(2 * rho) {
+        exec.step_round(&mut obs).unwrap();
+    }
+    let program = exec.program();
+    let u = program.potential().expect("association built") as f64;
+    let q1 = program.q1_words() as f64;
+    let n = (1u64 << LOG_N) as f64;
+    let bound = M as f64 * (rho as f64 + 2.0) / 2.0 - (1u64 << rho) as f64 * q1 - n / 4.0;
+    assert!(
+        u >= bound * 0.98,
+        "u(t_first)+ = {u} < Lemma 4.5 bound {bound}"
+    );
+}
+
+#[test]
+fn lemma_4_5_stage_one_allocation_cap() {
+    // s₁ ≤ M·(ρ + 1 − ½ Σ i/(2^i−1)).
+    let c = 50u64;
+    let (report, program) = run_pf(ManagerKind::FirstFit, c, PfVariant::FULL);
+    let rho = program.config().rho;
+    let cap = M as f64 * pcb_adversary::stage1_alloc_fraction(rho);
+    assert!(
+        (program.s1_words() as f64) <= cap + 1.0,
+        "s1 = {} > {cap}",
+        program.s1_words()
+    );
+    assert!(report.words_placed >= program.s1_words() + program.s2_words());
+}
+
+#[test]
+fn ablation_variants_all_complete_and_fragment() {
+    // The §3.1 improvements strengthen the *provable* bound h (they make
+    // the worst case analyzable); against any one concrete manager the
+    // empirical ordering can go either way — e.g. the greedy baseline
+    // allocates more per step and can out-fragment the regimented program
+    // against a dumb non-mover. What must hold: every variant completes,
+    // respects M, and produces substantial fragmentation.
+    for kind in [ManagerKind::FirstFit, ManagerKind::CompactingBp11] {
+        let c = 20;
+        for variant in [PfVariant::FULL, PfVariant::BASELINE] {
+            let (report, program) = run_pf(kind, c, variant);
+            assert!(
+                report.waste_factor > 1.5,
+                "{kind} {variant:?}: waste {}",
+                report.waste_factor
+            );
+            assert!(report.peak_live <= M);
+            assert!(program.s2_words() > 0, "stage II ran");
+        }
+    }
+}
+
+#[test]
+fn ghosts_neutralize_stage_one_compaction() {
+    // Against an aggressively compacting manager, stage I still finishes
+    // and the run completes with the association built.
+    let c = 10;
+    let (report, program) = run_pf(ManagerKind::PagesThm2, c, PfVariant::FULL);
+    assert!(program.association().is_some());
+    assert!(report.rounds >= program.config().last_step());
+    // Compacted words were all charged to a stage.
+    assert_eq!(report.words_moved, program.q1_words() + program.q2_words());
+}
+
+#[test]
+fn robson_program_beats_its_bound_on_every_non_moving_manager() {
+    let m = 1u64 << 12;
+    let log_n = 6;
+    let bound = RobsonProgram::robson_lower_bound(m, log_n);
+    for kind in ManagerKind::NON_MOVING {
+        let program = RobsonProgram::new(m, log_n);
+        let mut exec = Execution::new(Heap::non_moving(), program, kind.build(10, m, log_n));
+        let report = exec.run().expect("P_R runs");
+        assert!(
+            report.heap_size as f64 >= bound,
+            "{kind}: HS {} < Robson bound {bound}",
+            report.heap_size
+        );
+    }
+}
+
+#[test]
+fn association_invariants_hold_at_every_step() {
+    // Step the execution manually and check the association after every
+    // round of stage II.
+    let c = 20u64;
+    let cfg = PfConfig::new(M, LOG_N, c).unwrap().with_validation();
+    let mut exec = Execution::new(
+        Heap::new(c),
+        PfProgram::new(cfg),
+        ManagerKind::CompactingBp11.build(c, M, LOG_N),
+    );
+    let mut obs = pcb_heap::NullObserver;
+    let mut last_u: i128 = i128::MIN;
+    let mut checked = 0;
+    while !exec.program().finished() {
+        exec.step_round(&mut obs).unwrap();
+        if let Some(assoc) = exec.program().association() {
+            assoc.check_invariants().unwrap_or_else(|e| {
+                panic!("round {}: {e}", exec.rounds());
+            });
+            let u = exec.program().potential().unwrap();
+            assert!(u >= last_u, "u decreased across rounds: {last_u} -> {u}");
+            last_u = u;
+            checked += 1;
+        }
+    }
+    assert!(checked > 1, "stage II must span multiple rounds");
+    assert!(exec.program().violations().is_empty());
+}
+
+#[test]
+fn claim_4_8_stage_one_mirrors_robsons_program_without_compaction() {
+    // Against a non-moving manager no ghosts arise, so P_F's stage I and
+    // Robson's P_R must make the *identical* allocation sequence round by
+    // round (Claim 4.8's one-to-one mapping, specialized to the
+    // compaction-free execution).
+    use pcb_heap::{Event, Recorder};
+    let c = 50u64;
+    let cfg = PfConfig::new(M, LOG_N, c).unwrap();
+    let rho = cfg.rho;
+
+    fn placements_per_round(rec: &Recorder) -> Vec<Vec<u64>> {
+        let mut rounds: Vec<Vec<u64>> = Vec::new();
+        for (_, e) in rec.events() {
+            match e {
+                Event::RoundStart { .. } => rounds.push(Vec::new()),
+                Event::Placed { size, .. } => {
+                    rounds.last_mut().unwrap().push(size.get());
+                }
+                _ => {}
+            }
+        }
+        rounds
+    }
+
+    let mut rec_pf = Recorder::new();
+    let mut exec = Execution::new(
+        Heap::non_moving(),
+        PfProgram::new(cfg),
+        ManagerKind::FirstFit.build(c, M, LOG_N),
+    );
+    // Run only stage I (rounds 0..=rho).
+    for _ in 0..=rho {
+        exec.step_round(&mut rec_pf).unwrap();
+    }
+
+    let mut rec_pr = Recorder::new();
+    let mut exec_pr = Execution::new(
+        Heap::non_moving(),
+        RobsonProgram::new(M, LOG_N),
+        ManagerKind::FirstFit.build(c, M, LOG_N),
+    );
+    for _ in 0..=rho {
+        exec_pr.step_round(&mut rec_pr).unwrap();
+    }
+
+    let pf_rounds = placements_per_round(&rec_pf);
+    let pr_rounds = placements_per_round(&rec_pr);
+    assert_eq!(
+        pf_rounds, pr_rounds,
+        "stage I must replicate Robson's allocation sequence"
+    );
+    let _ = exec; // keep the execution alive for clarity
+}
+
+#[test]
+fn lemma_4_6_potential_growth_in_stage_two() {
+    // Lemma 4.6: u(t_finish) − u(t_first) ≥ ¾·s₂ − 2^ρ·q₂. Step the run,
+    // snapshot u at the stage transition, and compare at the end.
+    for kind in [ManagerKind::FirstFit, ManagerKind::PagesThm2] {
+        let c = 20u64;
+        let cfg = PfConfig::new(M, LOG_N, c).unwrap().with_validation();
+        let rho = cfg.rho;
+        let mut exec = Execution::new(Heap::new(c), PfProgram::new(cfg), kind.build(c, M, LOG_N));
+        let mut obs = pcb_heap::NullObserver;
+        let mut u_first: Option<i128> = None;
+        while !exec.program().finished() {
+            exec.step_round(&mut obs).unwrap();
+            if u_first.is_none() {
+                if let Some(u) = exec.program().potential() {
+                    // The first stage-II round has just run (it is what
+                    // created the association), so this snapshot includes
+                    // that round's growth; the comparison below excludes
+                    // the first round's allocation volume accordingly.
+                    u_first = Some(u);
+                }
+            }
+        }
+        let program = exec.program();
+        let u_finish = program.potential().unwrap();
+        let du = u_finish - u_first.unwrap();
+        // u_first was sampled AFTER the first stage-II round, so compare
+        // against the s2/q2 of the REMAINING rounds only is unavailable;
+        // instead verify the weaker but still meaningful aggregate over
+        // the whole stage with the first round's allocation removed.
+        let first_round_s2 = ((program.config().x() * M as f64) as u64).min(program.s2_words());
+        let s2_rest = program.s2_words() - first_round_s2;
+        let bound = 0.75 * s2_rest as f64 - ((1u64 << rho) * program.q2_words()) as f64;
+        assert!(
+            du as f64 >= bound - 1.0,
+            "{kind}: du = {du} < 3/4 s2' - 2^rho q2 = {bound}"
+        );
+    }
+}
+
+#[test]
+fn stage_two_allocation_is_regimented_to_x_m_words_per_step() {
+    // Line 14 (improvement 2): each stage-II step allocates close to x·M
+    // words — never more, and never much less while the M budget allows.
+    let c = 20u64;
+    let cfg = PfConfig::new(M, LOG_N, c).unwrap();
+    let (rho, x) = (cfg.rho, cfg.x());
+    let last_step = cfg.last_step();
+    let mut exec = Execution::new(
+        Heap::new(c),
+        PfProgram::new(cfg),
+        ManagerKind::FirstFit.build(c, M, LOG_N),
+    );
+    let mut obs = pcb_heap::NullObserver;
+    let mut prev_s2 = 0u64;
+    let mut round = 0u32;
+    while !exec.program().finished() {
+        exec.step_round(&mut obs).unwrap();
+        round += 1;
+        let step = round - 1; // the round just executed
+        if step >= 2 * rho && step <= last_step {
+            let s2 = exec.program().s2_words();
+            let delta = s2 - prev_s2;
+            let size = 1u64 << (step + 2);
+            let target = x * M as f64;
+            assert!(
+                (delta as f64) <= target,
+                "step {step}: allocated {delta} > x·M = {target}"
+            );
+            let _ = size;
+            prev_s2 = s2;
+        }
+    }
+    assert!(prev_s2 > 0, "stage II allocated something");
+
+    // Claim 4.18 (aggregate form): either the manager already used more
+    // than M·h space, or s₂ ≥ x·M·L − 2n where L = log n − 2ρ − 1.
+    let report = exec.report();
+    let (_, h) = optimal_rho(M, LOG_N, c).unwrap();
+    let l = (last_step + 1 - 2 * rho) as f64;
+    let claim = x * M as f64 * l - 2.0 * (1u64 << LOG_N) as f64;
+    let s2 = exec.program().s2_words() as f64;
+    assert!(
+        report.waste_factor > h || s2 >= claim * 0.95,
+        "Claim 4.18: HS/M = {} <= h = {h} yet s2 = {s2} < {claim}",
+        report.waste_factor
+    );
+}

@@ -1,0 +1,301 @@
+//! Binary buddy allocation.
+//!
+//! The buddy allocator serves every request from a power-of-two block at a
+//! block-aligned address, so all placements satisfy the *aligned
+//! allocation* discipline the paper's Section 3 overview reasons about
+//! (an object of size `2^i` lands on an address divisible by `2^i`).
+
+use std::collections::BTreeSet;
+
+use pcb_heap::{Addr, AllocRequest, HeapOps, MemoryManager, ObjectId, PlacementError, Size};
+
+/// How the buddy allocator picks among free blocks large enough to serve a
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuddySelect {
+    /// Classic: split the smallest sufficient order (lowest address within
+    /// the order).
+    #[default]
+    SmallestOrder,
+    /// Address-ordered: take the lowest-address sufficient block, whatever
+    /// its order. This makes the allocator behave like "place each `2^k`
+    /// object at the lowest free `2^k`-aligned address", the discipline of
+    /// Robson's bounded-fragmentation allocator `A_o`.
+    LowestAddr,
+}
+
+/// A non-moving binary buddy allocator.
+///
+/// ```
+/// use pcb_alloc::{BuddyAllocator, BuddySelect};
+/// let b = BuddyAllocator::new(10, BuddySelect::SmallestOrder);
+/// assert_eq!(b.max_block(), pcb_heap::Size::new(1024));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    /// `free[k]` holds start addresses of free blocks of size `2^k`.
+    free: Vec<BTreeSet<u64>>,
+    max_order: u32,
+    frontier: u64,
+    select: BuddySelect,
+    name: &'static str,
+}
+
+impl BuddyAllocator {
+    /// Creates a buddy allocator with top-level blocks of `2^max_order`
+    /// words; requests larger than that are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order >= 48` (absurd block sizes would overflow the
+    /// simulated address arithmetic long before then).
+    pub fn new(max_order: u32, select: BuddySelect) -> Self {
+        assert!(
+            max_order < 48,
+            "max_order {max_order} is unreasonably large"
+        );
+        BuddyAllocator {
+            free: vec![BTreeSet::new(); max_order as usize + 1],
+            max_order,
+            frontier: 0,
+            select,
+            name: match select {
+                BuddySelect::SmallestOrder => "buddy",
+                BuddySelect::LowestAddr => "buddy-lowest",
+            },
+        }
+    }
+
+    /// The largest servable request.
+    pub fn max_block(&self) -> Size {
+        Size::new(1 << self.max_order)
+    }
+
+    /// Number of free blocks of each order (diagnostics).
+    pub fn free_blocks(&self) -> Vec<usize> {
+        self.free.iter().map(|s| s.len()).collect()
+    }
+
+    fn order_for(size: Size) -> u32 {
+        size.next_power_of_two().log2()
+    }
+
+    /// Finds a free block per the selection strategy; `None` if no block of
+    /// order `>= k` is free.
+    fn select_block(&self, k: u32) -> Option<(u32, u64)> {
+        match self.select {
+            BuddySelect::SmallestOrder => (k..=self.max_order)
+                .find_map(|j| self.free[j as usize].first().copied().map(|addr| (j, addr))),
+            BuddySelect::LowestAddr => (k..=self.max_order)
+                .filter_map(|j| self.free[j as usize].first().copied().map(|addr| (j, addr)))
+                .min_by_key(|&(_, addr)| addr),
+        }
+    }
+
+    fn pop_block(&mut self, order: u32, addr: u64) {
+        let removed = self.free[order as usize].remove(&addr);
+        debug_assert!(removed, "block being popped is free");
+    }
+
+    /// Splits `(order, addr)` down to `k`, freeing the upper halves.
+    fn split_down(&mut self, mut order: u32, addr: u64, k: u32) -> u64 {
+        while order > k {
+            order -= 1;
+            self.free[order as usize].insert(addr + (1 << order));
+        }
+        addr
+    }
+
+    fn grow(&mut self) {
+        self.free[self.max_order as usize].insert(self.frontier);
+        self.frontier += 1 << self.max_order;
+    }
+
+    fn release_block(&mut self, mut addr: u64, mut order: u32) {
+        while order < self.max_order {
+            let buddy = addr ^ (1 << order);
+            if !self.free[order as usize].remove(&buddy) {
+                break;
+            }
+            addr = addr.min(buddy);
+            order += 1;
+        }
+        self.free[order as usize].insert(addr);
+    }
+}
+
+impl MemoryManager for BuddyAllocator {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn place(&mut self, req: AllocRequest, _ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+        let k = Self::order_for(req.size);
+        if k > self.max_order {
+            return Err(PlacementError::new(format!(
+                "request {} exceeds max block {}",
+                req.size,
+                self.max_block()
+            )));
+        }
+        let (order, addr) = match self.select_block(k) {
+            Some(found) => found,
+            None => {
+                self.grow();
+                self.select_block(k)
+                    .expect("fresh top-level block serves any order")
+            }
+        };
+        self.pop_block(order, addr);
+        Ok(Addr::new(self.split_down(order, addr, k)))
+    }
+
+    fn note_free(&mut self, _id: ObjectId, addr: Addr, size: Size) {
+        self.release_block(addr.get(), Self::order_for(size));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcb_heap::{Execution, Heap, ScriptedProgram};
+
+    fn run(select: BuddySelect, program: ScriptedProgram) -> (pcb_heap::Report, BuddyAllocator) {
+        let mut exec = Execution::new(Heap::non_moving(), program, BuddyAllocator::new(6, select));
+        let report = exec.run().expect("buddy serves script");
+        let (_, _, manager) = exec.into_parts();
+        (report, manager)
+    }
+
+    #[test]
+    fn placements_are_block_aligned() {
+        let program = ScriptedProgram::new(Size::new(4096)).round([], [1, 2, 4, 8, 16, 32, 3, 5]);
+        let mut exec = Execution::new(
+            Heap::non_moving(),
+            program,
+            BuddyAllocator::new(6, BuddySelect::SmallestOrder),
+        );
+        exec.run().unwrap();
+        for rec in exec.heap().live_objects() {
+            let block = rec.size().next_power_of_two();
+            assert!(
+                rec.addr().is_aligned_to(block.get()),
+                "{} at {} not aligned to {block}",
+                rec.size(),
+                rec.addr()
+            );
+        }
+    }
+
+    #[test]
+    fn split_and_merge_round_trip() {
+        // Allocate one word (splits a 64-block down to 1), then free it:
+        // everything must merge back into a single top-level block.
+        let program = ScriptedProgram::new(Size::new(4096))
+            .round([], [1])
+            .round([0], []);
+        let (report, buddy) = run(BuddySelect::SmallestOrder, program);
+        assert_eq!(report.heap_size, 1);
+        let blocks = buddy.free_blocks();
+        assert_eq!(blocks[6], 1, "one merged top block: {blocks:?}");
+        assert!(blocks[..6].iter().all(|&n| n == 0), "{blocks:?}");
+    }
+
+    #[test]
+    fn buddies_merge_across_frees() {
+        let program = ScriptedProgram::new(Size::new(4096))
+            .round([], [16, 16, 16, 16])
+            .round([0, 1, 2, 3], [64]);
+        let (report, _) = run(BuddySelect::SmallestOrder, program);
+        // All four 16-blocks merge back to a 64-block which serves the
+        // 64-word request in place.
+        assert_eq!(report.heap_size, 64);
+    }
+
+    #[test]
+    fn non_power_sizes_round_up() {
+        let program = ScriptedProgram::new(Size::new(4096)).round([], [3, 3]);
+        let mut exec = Execution::new(
+            Heap::non_moving(),
+            program,
+            BuddyAllocator::new(6, BuddySelect::SmallestOrder),
+        );
+        exec.run().unwrap();
+        let mut addrs: Vec<u64> = exec.heap().live_objects().map(|r| r.addr().get()).collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0, 4], "3-word objects occupy 4-word blocks");
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let program = ScriptedProgram::new(Size::new(4096)).round([], [65]);
+        let mut exec = Execution::new(
+            Heap::non_moving(),
+            program,
+            BuddyAllocator::new(6, BuddySelect::SmallestOrder),
+        );
+        assert!(exec.run().is_err());
+    }
+
+    #[test]
+    fn lowest_addr_select_prefers_low_addresses() {
+        // Fill two top blocks, free a small block in the second and a large
+        // one in the first; a small request must go to the first (lowest).
+        let program = ScriptedProgram::new(Size::new(4096))
+            .round([], [32, 32, 32, 32]) // blocks at 0,32,64,96
+            .round([0, 3], [8]); // free @0 (order 5) and @96; request order 3
+        let (_, buddy) = run(BuddySelect::LowestAddr, program);
+        let _ = buddy;
+        let program2 = ScriptedProgram::new(Size::new(4096))
+            .round([], [32, 32, 32, 32])
+            .round([0, 3], []);
+        let mut exec = Execution::new(
+            Heap::non_moving(),
+            program2,
+            BuddyAllocator::new(6, BuddySelect::LowestAddr),
+        );
+        exec.run().unwrap();
+        // Now place an 8-word object manually through the engine: reuse the
+        // scripted path instead.
+        let program3 = ScriptedProgram::new(Size::new(4096))
+            .round([], [32, 32, 32, 32])
+            .round([0, 3], [8]);
+        let mut exec = Execution::new(
+            Heap::non_moving(),
+            program3,
+            BuddyAllocator::new(6, BuddySelect::LowestAddr),
+        );
+        exec.run().unwrap();
+        let eight = exec
+            .heap()
+            .live_objects()
+            .find(|r| r.size() == Size::new(8))
+            .unwrap();
+        assert_eq!(eight.addr(), Addr::new(0));
+    }
+
+    #[test]
+    fn interleaved_stress_preserves_ground_truth() {
+        // The engine checks every placement against the SpaceMap, so a
+        // clean run is the assertion.
+        let mut sizes: Vec<u64> = Vec::new();
+        for i in 0..64u64 {
+            sizes.push(1 + (i % 6));
+        }
+        let program = ScriptedProgram::new(Size::new(1 << 20))
+            .round([], sizes.clone())
+            .round(
+                (0..64).step_by(2),
+                sizes.iter().map(|s| s * 2).collect::<Vec<_>>(),
+            )
+            .round((64..128).step_by(3), sizes);
+        for select in [BuddySelect::SmallestOrder, BuddySelect::LowestAddr] {
+            let mut exec = Execution::new(
+                Heap::non_moving(),
+                program.clone(),
+                BuddyAllocator::new(8, select),
+            );
+            exec.run().unwrap();
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Manager-side free-space index.
+//!
+//! [`FreeSpace`] tracks the gaps of a manager's heap view: an
+//! address-ordered map for neighbour coalescing plus a size-ordered index so
+//! the classic fit policies run in `O(distinct gap sizes)` instead of
+//! scanning every hole — essential because the paper's adversaries
+//! deliberately shatter the heap into hundreds of thousands of holes.
+//!
+//! The address space is unbounded above: everything at or beyond the
+//! *frontier* is free. Gaps below the frontier are kept disjoint, non-empty,
+//! and fully coalesced (no two adjacent gaps, no gap touching the frontier).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pcb_heap::{Addr, Extent, Size};
+
+/// Placement policies over a [`FreeSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FitPolicy {
+    /// Lowest-address gap that fits.
+    FirstFit,
+    /// Smallest gap that fits (ties: lowest address).
+    BestFit,
+    /// Largest gap (if it fits; ties: lowest address).
+    WorstFit,
+    /// Lowest-address fitting gap at or after a roving cursor, wrapping
+    /// around once (the cursor is owned by the caller).
+    NextFit,
+}
+
+impl FitPolicy {
+    /// All policies, for exhaustive tests and benches.
+    pub const ALL: [FitPolicy; 4] = [
+        FitPolicy::FirstFit,
+        FitPolicy::BestFit,
+        FitPolicy::WorstFit,
+        FitPolicy::NextFit,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FitPolicy::FirstFit => "first-fit",
+            FitPolicy::BestFit => "best-fit",
+            FitPolicy::WorstFit => "worst-fit",
+            FitPolicy::NextFit => "next-fit",
+        }
+    }
+}
+
+/// Free-space index with coalescing and an unbounded frontier.
+///
+/// ```
+/// use pcb_alloc::{FitPolicy, FreeSpace};
+/// use pcb_heap::{Addr, Size};
+/// let mut fs = FreeSpace::new();
+/// let a = fs.take(Size::new(10), FitPolicy::FirstFit); // from frontier
+/// assert_eq!(a, Addr::new(0));
+/// fs.release(Addr::new(2), Size::new(3)); // punch a hole
+/// let b = fs.take(Size::new(3), FitPolicy::FirstFit); // reuses the hole
+/// assert_eq!(b, Addr::new(2));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FreeSpace {
+    /// start -> length, gaps strictly below the frontier.
+    by_addr: BTreeMap<u64, u64>,
+    /// length -> set of starts.
+    by_len: BTreeMap<u64, BTreeSet<u64>>,
+    /// Everything at or above this address is free.
+    frontier: u64,
+}
+
+impl FreeSpace {
+    /// Creates an index with the whole address space free.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One past the highest address ever handed out.
+    pub fn frontier(&self) -> Addr {
+        Addr::new(self.frontier)
+    }
+
+    /// Number of interior gaps.
+    pub fn gap_count(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// Total words in interior gaps.
+    pub fn gap_words(&self) -> Size {
+        Size::new(self.by_addr.values().sum())
+    }
+
+    /// Iterates over interior gaps in address order.
+    pub fn gaps(&self) -> impl Iterator<Item = Extent> + '_ {
+        self.by_addr.iter().map(|(&s, &l)| Extent::from_raw(s, l))
+    }
+
+    /// The largest interior gap (zero when there is none).
+    pub fn largest_gap(&self) -> Size {
+        Size::new(self.by_len.keys().next_back().copied().unwrap_or(0))
+    }
+
+    /// The gap ending exactly at `addr`, if any (O(log gaps)).
+    pub fn gap_ending_at(&self, addr: Addr) -> Option<Extent> {
+        self.by_addr
+            .range(..addr.get())
+            .next_back()
+            .filter(|&(&s, &l)| s + l == addr.get())
+            .map(|(&s, &l)| Extent::from_raw(s, l))
+    }
+
+    /// The gap starting exactly at `addr`, if any (O(log gaps)).
+    pub fn gap_starting_at(&self, addr: Addr) -> Option<Extent> {
+        self.by_addr
+            .get(&addr.get())
+            .map(|&l| Extent::from_raw(addr.get(), l))
+    }
+
+    /// The gap containing `addr`, if any (O(log gaps)).
+    pub fn gap_containing(&self, addr: Addr) -> Option<Extent> {
+        self.by_addr
+            .range(..=addr.get())
+            .next_back()
+            .filter(|&(&s, &l)| addr.get() < s + l)
+            .map(|(&s, &l)| Extent::from_raw(s, l))
+    }
+
+    fn index_remove(&mut self, start: u64, len: u64) {
+        let set = self.by_len.get_mut(&len).expect("by_len and by_addr agree");
+        set.remove(&start);
+        if set.is_empty() {
+            self.by_len.remove(&len);
+        }
+    }
+
+    fn gap_remove(&mut self, start: u64) -> u64 {
+        let len = self
+            .by_addr
+            .remove(&start)
+            .expect("gap exists when removed");
+        self.index_remove(start, len);
+        len
+    }
+
+    fn gap_insert(&mut self, start: u64, len: u64) {
+        debug_assert!(len > 0);
+        debug_assert!(start + len <= self.frontier);
+        self.by_addr.insert(start, len);
+        self.by_len.entry(len).or_default().insert(start);
+    }
+
+    /// Claims `size` words according to `policy` (with
+    /// [`FitPolicy::NextFit`] behaving like first-fit; use
+    /// [`take_next_fit`](Self::take_next_fit) to supply a cursor).
+    ///
+    /// Never fails: the frontier always fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take(&mut self, size: Size, policy: FitPolicy) -> Addr {
+        assert!(!size.is_zero(), "cannot take zero words");
+        let s = size.get();
+        let pick = match policy {
+            FitPolicy::FirstFit | FitPolicy::NextFit => self.pick_first(s),
+            FitPolicy::BestFit => self.pick_best(s),
+            FitPolicy::WorstFit => self.pick_worst(s),
+        };
+        match pick {
+            Some(start) => self.carve(start, s),
+            None => self.take_frontier(s),
+        }
+    }
+
+    /// Like [`take`](Self::take), but fails instead of letting the frontier
+    /// pass `limit` (for arena-bounded managers). Interior gaps are always
+    /// acceptable since they lie below the frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn try_take_within(&mut self, size: Size, policy: FitPolicy, limit: u64) -> Option<Addr> {
+        assert!(!size.is_zero(), "cannot take zero words");
+        let s = size.get();
+        let pick = match policy {
+            FitPolicy::FirstFit | FitPolicy::NextFit => self.pick_first(s),
+            FitPolicy::BestFit => self.pick_best(s),
+            FitPolicy::WorstFit => self.pick_worst(s),
+        };
+        match pick {
+            Some(start) => Some(self.carve(start, s)),
+            None if self.frontier + s <= limit => Some(self.take_frontier(s)),
+            None => None,
+        }
+    }
+
+    /// Next-fit with an explicit roving cursor; returns the placement and
+    /// updates the cursor to just past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take_next_fit(&mut self, size: Size, cursor: &mut Addr) -> Addr {
+        assert!(!size.is_zero(), "cannot take zero words");
+        let s = size.get();
+        let from = cursor.get();
+        // Fast path: if no gap anywhere fits, go straight to the frontier
+        // instead of scanning every hole (adversarial workloads shatter
+        // the heap into hundreds of thousands of too-small holes).
+        let any_fits = self.by_len.range(s..).next().is_some();
+        let found = if !any_fits {
+            None
+        } else {
+            self.by_addr
+                .range(from..)
+                .find(|&(_, &len)| len >= s)
+                .map(|(&start, _)| start)
+                .or_else(|| {
+                    self.by_addr
+                        .range(..from)
+                        .find(|&(_, &len)| len >= s)
+                        .map(|(&start, _)| start)
+                })
+        };
+        let addr = match found {
+            Some(start) => self.carve(start, s),
+            None => self.take_frontier(s),
+        };
+        *cursor = addr + size;
+        addr
+    }
+
+    /// Claims `size` words at the lowest address that is a multiple of
+    /// `align`. Linear in the number of gaps; prefer the buddy structure
+    /// for hot aligned workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes or zero alignment.
+    pub fn take_aligned(&mut self, size: Size, align: u64) -> Addr {
+        assert!(!size.is_zero(), "cannot take zero words");
+        assert!(align > 0, "alignment must be positive");
+        let s = size.get();
+        let found = self.by_addr.iter().find_map(|(&start, &len)| {
+            let a = Addr::new(start).align_up(align).get();
+            (a + s <= start + len).then_some((start, a))
+        });
+        match found {
+            Some((start, at)) => self.carve_at(start, at, s),
+            None => {
+                let at = Addr::new(self.frontier).align_up(align).get();
+                if at > self.frontier {
+                    // The skipped run below the new frontier becomes a gap.
+                    let skip_start = self.frontier;
+                    self.frontier = at + s;
+                    self.gap_insert(skip_start, at - skip_start);
+                    self.coalesce_around(skip_start);
+                } else {
+                    self.frontier = at + s;
+                }
+                Addr::new(at)
+            }
+        }
+    }
+
+    /// Claims the specific extent `[start, start+size)` if it is entirely
+    /// free; returns whether it succeeded.
+    pub fn take_exact(&mut self, start: Addr, size: Size) -> bool {
+        if size.is_zero() {
+            return true;
+        }
+        let s = size.get();
+        let at = start.get();
+        if at >= self.frontier {
+            // Entirely in frontier space.
+            let skip_start = self.frontier;
+            self.frontier = at + s;
+            if at > skip_start {
+                self.gap_insert(skip_start, at - skip_start);
+                self.coalesce_around(skip_start);
+            }
+            return true;
+        }
+        // Must lie inside a single gap (possibly extending into frontier
+        // space only if the gap touches... gaps never touch the frontier,
+        // so the extent must fit inside one gap).
+        let Some((&gstart, &glen)) = self.by_addr.range(..=at).next_back() else {
+            return false;
+        };
+        if at + s > gstart + glen {
+            return false;
+        }
+        self.carve_at(gstart, at, s);
+        true
+    }
+
+    /// Whether the extent `[start, start+size)` is entirely free.
+    pub fn is_free(&self, start: Addr, size: Size) -> bool {
+        if size.is_zero() {
+            return true;
+        }
+        let at = start.get();
+        let s = size.get();
+        if at >= self.frontier {
+            return true;
+        }
+        match self.by_addr.range(..=at).next_back() {
+            Some((&gstart, &glen)) => at >= gstart && at + s <= gstart + glen,
+            None => false,
+        }
+    }
+
+    fn pick_first(&self, size: u64) -> Option<u64> {
+        self.by_len
+            .range(size..)
+            .filter_map(|(_, starts)| starts.first().copied())
+            .min()
+    }
+
+    fn pick_best(&self, size: u64) -> Option<u64> {
+        self.by_len
+            .range(size..)
+            .next()
+            .and_then(|(_, starts)| starts.first().copied())
+    }
+
+    fn pick_worst(&self, size: u64) -> Option<u64> {
+        self.by_len
+            .iter()
+            .next_back()
+            .filter(|&(&len, _)| len >= size)
+            .and_then(|(_, starts)| starts.first().copied())
+    }
+
+    fn take_frontier(&mut self, size: u64) -> Addr {
+        let at = self.frontier;
+        self.frontier += size;
+        Addr::new(at)
+    }
+
+    /// Removes `size` words from the front of the gap at `start`.
+    fn carve(&mut self, start: u64, size: u64) -> Addr {
+        self.carve_at(start, start, size)
+    }
+
+    /// Removes `[at, at+size)` from inside the gap starting at `start`.
+    fn carve_at(&mut self, start: u64, at: u64, size: u64) -> Addr {
+        let len = self.gap_remove(start);
+        debug_assert!(start <= at && at + size <= start + len);
+        if at > start {
+            self.gap_insert(start, at - start);
+        }
+        let tail = (start + len) - (at + size);
+        if tail > 0 {
+            self.gap_insert(at + size, tail);
+        }
+        Addr::new(at)
+    }
+
+    /// Returns `[start, start+size)` to the free pool, coalescing with
+    /// neighbouring gaps and the frontier.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the range is already free (double release).
+    pub fn release(&mut self, start: Addr, size: Size) {
+        if size.is_zero() {
+            return;
+        }
+        let at = start.get();
+        let len = size.get();
+        debug_assert!(
+            at + len <= self.frontier,
+            "released range [{at}, {}) must be below the frontier {}",
+            at + len,
+            self.frontier
+        );
+        self.gap_insert(at, len);
+        self.coalesce_around(at);
+    }
+
+    fn coalesce_around(&mut self, at: u64) {
+        // Merge with predecessor.
+        let mut start = at;
+        let mut len = *self.by_addr.get(&at).expect("gap just inserted");
+        if let Some((&pstart, &plen)) = self.by_addr.range(..start).next_back() {
+            if pstart + plen == start {
+                self.gap_remove(pstart);
+                self.gap_remove(start);
+                start = pstart;
+                len += plen;
+                self.gap_insert(start, len);
+            }
+        }
+        // Merge with successor.
+        if let Some((&nstart, &nlen)) = self.by_addr.range(start + 1..).next() {
+            if start + len == nstart {
+                self.gap_remove(start);
+                self.gap_remove(nstart);
+                len += nlen;
+                self.gap_insert(start, len);
+            }
+        }
+        // Retreat the frontier over a gap that now touches it.
+        if start + len == self.frontier {
+            self.gap_remove(start);
+            self.frontier = start;
+        }
+    }
+
+    /// Forgets everything, making the whole space free again (used by
+    /// managers that rebuild their view after a full compaction).
+    pub fn clear(&mut self) {
+        self.by_addr.clear();
+        self.by_len.clear();
+        self.frontier = 0;
+    }
+
+    /// Internal-consistency check for tests: by_addr/by_len agree, gaps are
+    /// disjoint, coalesced, non-empty, and below the frontier.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_end: Option<u64> = None;
+        for (&start, &len) in &self.by_addr {
+            if len == 0 {
+                return Err(format!("empty gap at {start}"));
+            }
+            if let Some(pe) = prev_end {
+                if start < pe {
+                    return Err(format!("overlapping gaps at {start}"));
+                }
+                if start == pe {
+                    return Err(format!("uncoalesced gaps at {start}"));
+                }
+            }
+            if start + len > self.frontier {
+                return Err(format!("gap [{start},{}) above frontier", start + len));
+            }
+            if start + len == self.frontier {
+                return Err(format!("gap touching frontier at {start}"));
+            }
+            if !self.by_len.get(&len).is_some_and(|s| s.contains(&start)) {
+                return Err(format!("gap [{start},{len}] missing from size index"));
+            }
+            prev_end = Some(start + len);
+        }
+        let indexed: u64 = self
+            .by_len
+            .iter()
+            .map(|(len, starts)| len * starts.len() as u64)
+            .sum();
+        let direct: u64 = self.by_addr.values().sum();
+        if indexed != direct {
+            return Err(format!("size index mismatch: {indexed} != {direct}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with_holes() -> FreeSpace {
+        // Layout: [0,4) used, [4,8) free, [8,20) used, [20,30) free, [30,40) used.
+        let mut fs = FreeSpace::new();
+        let a = fs.take(Size::new(40), FitPolicy::FirstFit);
+        assert_eq!(a, Addr::new(0));
+        fs.release(Addr::new(4), Size::new(4));
+        fs.release(Addr::new(20), Size::new(10));
+        fs.check_invariants().unwrap();
+        fs
+    }
+
+    #[test]
+    fn first_fit_prefers_lowest_address() {
+        let mut fs = fs_with_holes();
+        assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(4));
+        assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(20));
+        fs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_gap() {
+        let mut fs = fs_with_holes();
+        assert_eq!(fs.take(Size::new(3), FitPolicy::BestFit), Addr::new(4));
+        fs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn worst_fit_prefers_largest_gap() {
+        let mut fs = fs_with_holes();
+        assert_eq!(fs.take(Size::new(3), FitPolicy::WorstFit), Addr::new(20));
+        fs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn frontier_used_when_nothing_fits() {
+        let mut fs = fs_with_holes();
+        assert_eq!(fs.take(Size::new(11), FitPolicy::FirstFit), Addr::new(40));
+        assert_eq!(fs.frontier(), Addr::new(51));
+        fs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_coalesces_both_sides_and_frontier() {
+        let mut fs = FreeSpace::new();
+        fs.take(Size::new(30), FitPolicy::FirstFit);
+        fs.release(Addr::new(0), Size::new(10));
+        fs.release(Addr::new(20), Size::new(5));
+        fs.release(Addr::new(10), Size::new(10)); // bridges both gaps
+        fs.check_invariants().unwrap();
+        assert_eq!(fs.gap_count(), 1);
+        assert_eq!(fs.gap_words(), Size::new(25));
+        fs.release(Addr::new(25), Size::new(5)); // touches frontier: retreat
+        fs.check_invariants().unwrap();
+        assert_eq!(fs.frontier(), Addr::new(0));
+        assert_eq!(fs.gap_count(), 0);
+    }
+
+    #[test]
+    fn next_fit_roves_and_wraps() {
+        let mut fs = fs_with_holes();
+        let mut cursor = Addr::new(10);
+        // From 10: first fitting gap at/after 10 is [20,30).
+        assert_eq!(fs.take_next_fit(Size::new(2), &mut cursor), Addr::new(20));
+        assert_eq!(cursor, Addr::new(22));
+        // [22,30) fits again.
+        assert_eq!(fs.take_next_fit(Size::new(8), &mut cursor), Addr::new(22));
+        // Nothing at/after 30 fits 4 words; wraps to [4,8).
+        assert_eq!(fs.take_next_fit(Size::new(4), &mut cursor), Addr::new(4));
+        // Nothing interior fits 4 words; frontier.
+        assert_eq!(fs.take_next_fit(Size::new(4), &mut cursor), Addr::new(40));
+        fs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn aligned_take_from_gap_and_frontier() {
+        let mut fs = FreeSpace::new();
+        fs.take(Size::new(33), FitPolicy::FirstFit);
+        fs.release(Addr::new(5), Size::new(12)); // gap [5,17)
+                                                 // Aligned to 8: candidate 8, needs [8,16) ⊆ [5,17) ✓
+        assert_eq!(fs.take_aligned(Size::new(8), 8), Addr::new(8));
+        fs.check_invariants().unwrap();
+        // Next aligned-8 request: gap remnants [5,8) and [16,17) too small;
+        // frontier 33 aligns up to 40, leaving [33,40) as a gap.
+        assert_eq!(fs.take_aligned(Size::new(8), 8), Addr::new(40));
+        fs.check_invariants().unwrap();
+        assert!(fs.is_free(Addr::new(33), Size::new(7)));
+        assert_eq!(fs.frontier(), Addr::new(48));
+    }
+
+    #[test]
+    fn take_exact_inside_gap_and_frontier() {
+        let mut fs = FreeSpace::new();
+        fs.take(Size::new(20), FitPolicy::FirstFit);
+        fs.release(Addr::new(4), Size::new(8)); // gap [4,12)
+        assert!(fs.take_exact(Addr::new(6), Size::new(4))); // middle of the gap
+        fs.check_invariants().unwrap();
+        assert!(!fs.take_exact(Addr::new(10), Size::new(4))); // [10,14) partly used
+        assert!(fs.take_exact(Addr::new(30), Size::new(5))); // frontier, skips [20,30)
+        fs.check_invariants().unwrap();
+        assert!(fs.is_free(Addr::new(20), Size::new(10)));
+        assert_eq!(fs.frontier(), Addr::new(35));
+    }
+
+    #[test]
+    fn is_free_queries() {
+        let fs = fs_with_holes();
+        assert!(fs.is_free(Addr::new(4), Size::new(4)));
+        assert!(!fs.is_free(Addr::new(4), Size::new(5)));
+        assert!(!fs.is_free(Addr::new(0), Size::new(1)));
+        assert!(fs.is_free(Addr::new(40), Size::new(1_000_000)));
+        assert!(fs.is_free(Addr::new(25), Size::new(5)));
+        assert!(!fs.is_free(Addr::new(25), Size::new(6)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut fs = fs_with_holes();
+        fs.clear();
+        assert_eq!(fs.frontier(), Addr::ZERO);
+        assert_eq!(fs.gap_count(), 0);
+        assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(0));
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        let names: Vec<_> = FitPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["first-fit", "best-fit", "worst-fit", "next-fit"]);
+    }
+
+    #[test]
+    fn many_interleaved_ops_keep_invariants() {
+        let mut fs = FreeSpace::new();
+        let mut live: Vec<(Addr, Size)> = Vec::new();
+        for i in 0..500u64 {
+            let size = Size::new(1 + (i * 7) % 13);
+            let addr = fs.take(size, FitPolicy::ALL[(i % 4) as usize]);
+            live.push((addr, size));
+            if i % 3 == 0 {
+                let (a, s) = live.remove((i as usize * 5) % live.len());
+                fs.release(a, s);
+            }
+            fs.check_invariants().unwrap();
+        }
+    }
+}

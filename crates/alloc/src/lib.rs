@@ -1,0 +1,54 @@
+//! Memory-manager implementations for the partial-compaction simulator.
+//!
+//! Every manager implements [`pcb_heap::MemoryManager`] and can be driven
+//! by [`pcb_heap::Execution`] against any program, including the
+//! adversaries of Cohen & Petrank (PLDI 2013) implemented in
+//! `pcb-adversary`. The suite covers:
+//!
+//! * **classic non-moving policies** — [`FreeListManager`] (first/best/
+//!   worst/next-fit), [`BuddyAllocator`], [`SegregatedManager`]: the
+//!   victims of Robson's no-compaction lower bound;
+//! * **bounded-fragmentation non-moving** — [`RobsonAllocator`], the
+//!   lowest-aligned-fit discipline behind Robson's matching upper bound;
+//! * **c-partial compacting managers** — [`CompactingManager`] (the
+//!   `(c+1)·M` arena scheme of Bendersky & Petrank, POPL'11) and
+//!   [`PageManager`] (a Theorem-2-style size-class/evacuation design).
+//!
+//! Use [`ManagerKind`] to instantiate managers uniformly:
+//!
+//! ```
+//! use pcb_alloc::ManagerKind;
+//! use pcb_heap::{Execution, Heap, ScriptedProgram, Size};
+//!
+//! let program = ScriptedProgram::new(Size::new(64)).round([], [8, 8]);
+//! let manager = ManagerKind::CompactingBp11.build(10, 64, 6);
+//! let mut exec = Execution::new(Heap::new(10), program, manager);
+//! let report = exec.run()?;
+//! assert_eq!(report.heap_size, 16);
+//! # Ok::<(), pcb_heap::ExecutionError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buddy;
+mod compacting;
+mod freelist;
+mod full_compact;
+mod pages;
+mod policy;
+mod registry;
+mod robson;
+mod segregated;
+mod tlsf;
+
+pub use buddy::{BuddyAllocator, BuddySelect};
+pub use compacting::CompactingManager;
+pub use freelist::{FitPolicy, FreeSpace};
+pub use full_compact::FullCompactor;
+pub use pages::{PageManager, SLOTS_PER_PAGE};
+pub use policy::FreeListManager;
+pub use registry::{ManagerKind, ParseManagerKindError};
+pub use robson::RobsonAllocator;
+pub use segregated::SegregatedManager;
+pub use tlsf::TlsfManager;

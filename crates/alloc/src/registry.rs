@@ -1,0 +1,223 @@
+//! A uniform way to name and instantiate every manager in the suite, used
+//! by the simulation harness, the benches, and the examples.
+
+use core::fmt;
+use std::str::FromStr;
+
+use pcb_heap::MemoryManager;
+
+use crate::buddy::{BuddyAllocator, BuddySelect};
+use crate::compacting::CompactingManager;
+use crate::freelist::FitPolicy;
+use crate::full_compact::FullCompactor;
+use crate::pages::PageManager;
+use crate::policy::FreeListManager;
+use crate::robson::RobsonAllocator;
+use crate::segregated::SegregatedManager;
+use crate::tlsf::TlsfManager;
+
+/// Every manager in the suite, by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManagerKind {
+    /// First-fit free list (non-moving).
+    FirstFit,
+    /// Best-fit free list (non-moving).
+    BestFit,
+    /// Worst-fit free list (non-moving).
+    WorstFit,
+    /// Next-fit free list (non-moving).
+    NextFit,
+    /// Binary buddy (non-moving, aligned).
+    Buddy,
+    /// Segregated storage (non-moving).
+    Segregated,
+    /// Robson-style lowest-aligned-fit (non-moving, aligned).
+    Robson,
+    /// Bendersky–Petrank `(c+1)M` arena with slide compaction (c-partial).
+    CompactingBp11,
+    /// Theorem-2-style size-class pages with evacuation (c-partial).
+    PagesThm2,
+    /// Two-level segregated fit (non-moving, O(1) good-fit; the classic
+    /// real-time allocator).
+    Tlsf,
+    /// Unlimited-budget full compaction — NOT c-partial; the paper's
+    /// "overhead factor 1" contrast. Requires
+    /// [`pcb_heap::Heap::unlimited_compaction`].
+    FullCompaction,
+}
+
+impl ManagerKind {
+    /// Every kind, in a stable order.
+    pub const ALL: [ManagerKind; 10] = [
+        ManagerKind::FirstFit,
+        ManagerKind::BestFit,
+        ManagerKind::WorstFit,
+        ManagerKind::NextFit,
+        ManagerKind::Buddy,
+        ManagerKind::Segregated,
+        ManagerKind::Robson,
+        ManagerKind::Tlsf,
+        ManagerKind::CompactingBp11,
+        ManagerKind::PagesThm2,
+    ];
+
+    /// The non-moving kinds (Robson's results apply to these).
+    pub const NON_MOVING: [ManagerKind; 8] = [
+        ManagerKind::FirstFit,
+        ManagerKind::BestFit,
+        ManagerKind::WorstFit,
+        ManagerKind::NextFit,
+        ManagerKind::Buddy,
+        ManagerKind::Segregated,
+        ManagerKind::Robson,
+        ManagerKind::Tlsf,
+    ];
+
+    /// The compacting (c-partial) kinds.
+    pub const COMPACTING: [ManagerKind; 2] = [ManagerKind::CompactingBp11, ManagerKind::PagesThm2];
+
+    /// Every kind plus the non-c-partial full-compaction baseline.
+    pub const WITH_BASELINE: [ManagerKind; 11] = [
+        ManagerKind::FirstFit,
+        ManagerKind::BestFit,
+        ManagerKind::WorstFit,
+        ManagerKind::NextFit,
+        ManagerKind::Buddy,
+        ManagerKind::Segregated,
+        ManagerKind::Robson,
+        ManagerKind::Tlsf,
+        ManagerKind::CompactingBp11,
+        ManagerKind::PagesThm2,
+        ManagerKind::FullCompaction,
+    ];
+
+    /// Stable lowercase name (parseable back via [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ManagerKind::FirstFit => "first-fit",
+            ManagerKind::BestFit => "best-fit",
+            ManagerKind::WorstFit => "worst-fit",
+            ManagerKind::NextFit => "next-fit",
+            ManagerKind::Buddy => "buddy",
+            ManagerKind::Segregated => "segregated",
+            ManagerKind::Robson => "robson-aligned",
+            ManagerKind::Tlsf => "tlsf",
+            ManagerKind::CompactingBp11 => "compacting-bp11",
+            ManagerKind::PagesThm2 => "pages-thm2",
+            ManagerKind::FullCompaction => "full-compaction",
+        }
+    }
+
+    /// Whether the kind ever moves objects.
+    pub fn is_compacting(self) -> bool {
+        matches!(
+            self,
+            ManagerKind::CompactingBp11 | ManagerKind::PagesThm2 | ManagerKind::FullCompaction
+        )
+    }
+
+    /// Whether the kind needs an unlimited compaction budget (it is not a
+    /// c-partial manager and the paper's bounds do not apply to it).
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, ManagerKind::FullCompaction)
+    }
+
+    /// Instantiates the manager for the experiment parameters: compaction
+    /// bound `c`, live bound `m` (words), and max object size `2^log_n`.
+    pub fn build(self, c: u64, m: u64, log_n: u32) -> Box<dyn MemoryManager> {
+        match self {
+            ManagerKind::FirstFit => Box::new(FreeListManager::new(FitPolicy::FirstFit)),
+            ManagerKind::BestFit => Box::new(FreeListManager::new(FitPolicy::BestFit)),
+            ManagerKind::WorstFit => Box::new(FreeListManager::new(FitPolicy::WorstFit)),
+            ManagerKind::NextFit => Box::new(FreeListManager::new(FitPolicy::NextFit)),
+            ManagerKind::Buddy => Box::new(BuddyAllocator::new(log_n, BuddySelect::SmallestOrder)),
+            ManagerKind::Segregated => Box::new(SegregatedManager::new(log_n)),
+            ManagerKind::Robson => Box::new(RobsonAllocator::new(log_n)),
+            ManagerKind::Tlsf => Box::new(TlsfManager::new()),
+            ManagerKind::CompactingBp11 => Box::new(CompactingManager::new(c, m)),
+            ManagerKind::PagesThm2 => Box::new(PageManager::new(c.max(2), log_n)),
+            ManagerKind::FullCompaction => Box::new(FullCompactor::new()),
+        }
+    }
+}
+
+impl fmt::Display for ManagerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`ManagerKind`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseManagerKindError {
+    /// The unrecognized input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseManagerKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown manager kind `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseManagerKindError {}
+
+impl FromStr for ManagerKind {
+    type Err = ParseManagerKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ManagerKind::WITH_BASELINE
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ParseManagerKindError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcb_heap::{Execution, Heap, ScriptedProgram, Size};
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ManagerKind::ALL {
+            let parsed: ManagerKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("no-such-manager".parse::<ManagerKind>().is_err());
+    }
+
+    #[test]
+    fn every_kind_serves_a_basic_script() {
+        for kind in ManagerKind::ALL {
+            let program = ScriptedProgram::new(Size::new(256))
+                .round([], [1, 2, 4, 8, 16])
+                .round([0, 2], [4, 1])
+                .round([1, 3, 4], [8, 8]);
+            let heap = if kind.is_compacting() {
+                Heap::new(10)
+            } else {
+                Heap::non_moving()
+            };
+            let mut exec = Execution::new(heap, program, kind.build(10, 256, 8));
+            let report = exec.run().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(report.manager, kind.name());
+            assert_eq!(report.objects_placed, 9, "{kind}");
+        }
+    }
+
+    #[test]
+    fn non_moving_kinds_never_move() {
+        for kind in ManagerKind::NON_MOVING {
+            assert!(!kind.is_compacting());
+            let program = ScriptedProgram::new(Size::new(64))
+                .round([], [4, 4, 4])
+                .round([1], [2]);
+            let mut exec = Execution::new(Heap::non_moving(), program, kind.build(10, 64, 6));
+            let report = exec.run().unwrap();
+            assert_eq!(report.objects_moved, 0, "{kind}");
+        }
+    }
+}

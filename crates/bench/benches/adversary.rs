@@ -1,0 +1,74 @@
+//! Criterion benches for the empirical experiments (E5–E7): full
+//! adversary-vs-manager executions at laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use partial_compaction::{sim, ManagerKind, Params, PfVariant};
+
+fn bench_pf_vs_managers(c: &mut Criterion) {
+    let params = Params::new(1 << 14, 10, 20).expect("valid");
+    let mut group = c.benchmark_group("pf");
+    group.sample_size(10);
+    for kind in ManagerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let report =
+                        sim::run(params, sim::Adversary::PF, kind, false).expect("P_F runs");
+                    assert!(report.waste_over_bound >= 0.9);
+                    black_box(report)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_robson(c: &mut Criterion) {
+    let params = Params::new(1 << 12, 6, 10).expect("valid");
+    let mut group = c.benchmark_group("robson");
+    group.sample_size(10);
+    for kind in [ManagerKind::FirstFit, ManagerKind::Robson] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let report =
+                        sim::run(params, sim::Adversary::Robson, kind, false).expect("P_R runs");
+                    assert!(report.waste_over_bound >= 1.0);
+                    black_box(report)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let params = Params::new(1 << 14, 10, 20).expect("valid");
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, variant) in [("full", PfVariant::FULL), ("baseline", PfVariant::BASELINE)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &variant, |b, &v| {
+            b.iter(|| {
+                black_box(
+                    sim::run(params, sim::Adversary::Pf(v), ManagerKind::FirstFit, false)
+                        .expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    adversary,
+    bench_pf_vs_managers,
+    bench_robson,
+    bench_ablation
+);
+criterion_main!(adversary);

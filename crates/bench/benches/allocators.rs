@@ -1,0 +1,53 @@
+//! Criterion benches for the manager substrate itself: allocation/free
+//! throughput under fragmentation-heavy churn (not a paper figure, but
+//! the baseline cost model for all empirical experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use partial_compaction::heap::{Execution, Heap, ScriptedProgram, Size};
+use partial_compaction::ManagerKind;
+
+/// A deterministic churn: interleaved sizes with periodic frees.
+fn churn_script(rounds: usize) -> ScriptedProgram {
+    let mut program = ScriptedProgram::new(Size::new(1 << 14));
+    let mut base = 0usize;
+    for r in 0..rounds {
+        let sizes: Vec<u64> = (0..64).map(|i| 1 + ((i + r) % 16) as u64).collect();
+        let frees: Vec<usize> = if r == 0 {
+            Vec::new()
+        } else {
+            (base - 64..base).step_by(2).collect()
+        };
+        program = program.round(frees, sizes);
+        base += 64;
+    }
+    program
+}
+
+fn bench_managers_under_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    for kind in ManagerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let heap = if kind.is_compacting() {
+                        Heap::new(10)
+                    } else {
+                        Heap::non_moving()
+                    };
+                    let mut exec =
+                        Execution::new(heap, churn_script(24), kind.build(10, 1 << 14, 6));
+                    black_box(exec.run().expect("churn runs"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(allocators, bench_managers_under_churn);
+criterion_main!(allocators);

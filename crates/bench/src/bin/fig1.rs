@@ -1,0 +1,33 @@
+//! Regenerates **Figure 1** of the paper: the lower bound on the waste
+//! factor `h` for `M = 256 MB`, `n = 1 MB`, as a function of the
+//! compaction bound `c ∈ [10, 100]`, next to the (trivial at these
+//! parameters) lower bound of Bendersky–Petrank POPL'11.
+//!
+//! ```text
+//! cargo run -p pcb-bench --bin fig1
+//! ```
+
+use partial_compaction::figures::figure1;
+
+fn main() {
+    let rows = figure1();
+    println!("# Figure 1: lower bound on the waste factor h (M = 2^28, n = 2^20 words)");
+    println!("# columns: bp11 = [4]'s lower bound (clamped at the trivial 1),");
+    println!("#          h = Theorem 1 (rho optimized), rho = optimizing rho");
+    pcb_bench::print_csv(&rows);
+
+    // The paper's quoted landmarks, for eyeballing.
+    for &c in &[10u64, 50, 100] {
+        let row = rows.iter().find(|r| r.c == c).expect("in range");
+        eprintln!(
+            "c = {c:3}: h = {:.2} (paper quotes {}), rho = {}",
+            row.h,
+            match c {
+                10 => "2.0",
+                50 => "3.15",
+                _ => "3.5",
+            },
+            row.rho
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Figure 2** of the paper: the lower bound on the waste
+//! factor `h` as a function of the maximum object size `n` (1 KB to 1 GB
+//! in words), with `c = 100` and `M = 256·n`.
+//!
+//! ```text
+//! cargo run -p pcb-bench --bin fig2
+//! ```
+
+use partial_compaction::figures::figure2;
+
+fn main() {
+    let rows = figure2();
+    println!("# Figure 2: lower bound on the waste factor h vs n (c = 100, M = 256n)");
+    println!("# columns: h = Theorem 1 (rho optimized), log_n in words");
+    pcb_bench::print_csv(&rows);
+    eprintln!(
+        "h ranges from {:.2} (n = 2^10) to {:.2} (n = 2^30)",
+        rows.first().unwrap().h,
+        rows.last().unwrap().h
+    );
+}

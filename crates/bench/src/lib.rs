@@ -1,0 +1,261 @@
+//! Shared plumbing for the benchmark harness: experiment configurations
+//! and tabular output helpers used by the `fig*`, `empirical`, and
+//! `ablation` binaries.
+
+use partial_compaction::{sim, ManagerKind, Params, PfVariant};
+
+/// The scaled-down parameter grid used by the empirical experiments
+/// (E5/E6 in DESIGN.md). The paper's figures are analytic; these runs
+/// validate the theory executable-side at laptop scale.
+pub fn empirical_grid() -> Vec<Params> {
+    let mut grid = Vec::new();
+    for (m_shift, log_n) in [(14u32, 10u32), (16, 10), (18, 12)] {
+        for c in [10u64, 20, 50, 100] {
+            grid.push(Params::new(1 << m_shift, log_n, c).expect("valid grid point"));
+        }
+    }
+    grid
+}
+
+/// One row of the empirical experiment output.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EmpiricalRow {
+    /// Live bound in words.
+    pub m: u64,
+    /// `log₂ n`.
+    pub log_n: u32,
+    /// Compaction bound.
+    pub c: u64,
+    /// Manager under test.
+    pub manager: String,
+    /// Theorem 1's bound `h`.
+    pub h: f64,
+    /// Measured `HS / M`.
+    pub waste: f64,
+    /// `waste / h` (≥ 1 certifies the bound for this manager).
+    pub ratio: f64,
+    /// Fraction of allocated words moved.
+    pub moved: f64,
+}
+
+/// Runs `P_F` against every manager across the grid.
+pub fn run_empirical(validate: bool) -> Vec<EmpiricalRow> {
+    let mut rows = Vec::new();
+    for params in empirical_grid() {
+        for kind in ManagerKind::ALL {
+            let report = sim::run(params, sim::Adversary::PF, kind, validate)
+                .expect("grid points are feasible and managers serve P_F");
+            assert!(
+                report.violations.is_empty(),
+                "{kind}: {:?}",
+                report.violations
+            );
+            rows.push(EmpiricalRow {
+                m: params.m(),
+                log_n: params.log_n(),
+                c: params.c(),
+                manager: kind.name().to_owned(),
+                h: report.h,
+                waste: report.execution.waste_factor,
+                ratio: report.waste_over_bound,
+                moved: report.execution.moved_fraction,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs Robson's `P_R` against the non-moving managers (experiment E6).
+pub fn run_robson_empirical() -> Vec<EmpiricalRow> {
+    let mut rows = Vec::new();
+    for (m_shift, log_n) in [(12u32, 6u32), (14, 8)] {
+        let params = Params::new(1 << m_shift, log_n, 10).expect("valid");
+        for kind in ManagerKind::NON_MOVING {
+            let report = sim::run(params, sim::Adversary::Robson, kind, false)
+                .expect("P_R runs against non-moving managers");
+            rows.push(EmpiricalRow {
+                m: params.m(),
+                log_n: params.log_n(),
+                c: 0,
+                manager: kind.name().to_owned(),
+                h: report.h,
+                waste: report.execution.waste_factor,
+                ratio: report.waste_over_bound,
+                moved: report.execution.moved_fraction,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the ablation experiment (E7): the §3.1 improvements
+/// individually toggled.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AblationRow {
+    /// Compaction bound.
+    pub c: u64,
+    /// Manager under test.
+    pub manager: String,
+    /// Human name of the variant.
+    pub variant: String,
+    /// Measured `HS / M`.
+    pub waste: f64,
+}
+
+/// The named variants of the ablation: full, each improvement off in
+/// isolation, and the all-off baseline.
+pub fn ablation_variants() -> Vec<(&'static str, PfVariant)> {
+    vec![
+        ("full", PfVariant::FULL),
+        (
+            "no-robson-stage1",
+            PfVariant {
+                robson_stage1: false,
+                ..PfVariant::FULL
+            },
+        ),
+        (
+            "no-regimented",
+            PfVariant {
+                regimented_alloc: false,
+                ..PfVariant::FULL
+            },
+        ),
+        (
+            "no-halves",
+            PfVariant {
+                half_assignment: false,
+                ..PfVariant::FULL
+            },
+        ),
+        ("baseline", PfVariant::BASELINE),
+    ]
+}
+
+/// Runs the ablation grid.
+pub fn run_ablation() -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for c in [10u64, 20, 50] {
+        let params = Params::new(1 << 16, 10, c).expect("valid");
+        for kind in [
+            ManagerKind::FirstFit,
+            ManagerKind::CompactingBp11,
+            ManagerKind::PagesThm2,
+        ] {
+            for (name, variant) in ablation_variants() {
+                let report = sim::run(params, sim::Adversary::Pf(variant), kind, false)
+                    .expect("ablation points run");
+                rows.push(AblationRow {
+                    c,
+                    manager: kind.name().to_owned(),
+                    variant: name.to_owned(),
+                    waste: report.execution.waste_factor,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One row of the geometry ablation: the Theorem-2-style manager's
+/// objects-per-page knob (DESIGN.md calls out the factor-4 chunk
+/// geometry) swept under `P_F`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct GeometryRow {
+    /// Compaction bound.
+    pub c: u64,
+    /// Objects per page.
+    pub slots: usize,
+    /// Measured `HS / M`.
+    pub waste: f64,
+    /// Fraction of allocated words moved.
+    pub moved: f64,
+}
+
+/// Sweeps the page geometry of the Theorem-2-style manager under `P_F`.
+pub fn run_geometry_ablation() -> Vec<GeometryRow> {
+    use partial_compaction::heap::{Execution, Heap};
+    use partial_compaction::{alloc::PageManager, PfConfig, PfProgram};
+    let (m, log_n) = (1u64 << 16, 10u32);
+    let mut rows = Vec::new();
+    for c in [10u64, 50] {
+        for slots in [4usize, 8, 16] {
+            let cfg = PfConfig::new(m, log_n, c).expect("feasible");
+            let mut exec = Execution::new(
+                Heap::new(c),
+                PfProgram::new(cfg),
+                PageManager::with_geometry(c, log_n, slots),
+            );
+            let report = exec.run().expect("geometry point runs");
+            rows.push(GeometryRow {
+                c,
+                slots,
+                waste: report.waste_factor,
+                moved: report.moved_fraction,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders serializable rows as a CSV table (header from the first row's
+/// field names, alphabetical).
+pub fn to_csv<T: serde::Serialize>(rows: &[T]) -> String {
+    let mut out = String::new();
+    let mut header_done = false;
+    for row in rows {
+        let value = serde_json::to_value(row).expect("rows are plain structs");
+        let obj = value.as_object().expect("rows serialize to objects");
+        if !header_done {
+            out.push_str(&obj.keys().cloned().collect::<Vec<_>>().join(","));
+            out.push('\n');
+            header_done = true;
+        }
+        let line: Vec<String> = obj
+            .values()
+            .map(|v| match v {
+                serde_json::Value::String(s) => s.clone(),
+                serde_json::Value::Null => String::new(),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints serializable rows as CSV to stdout.
+pub fn print_csv<T: serde::Serialize>(rows: &[T]) {
+    print!("{}", to_csv(rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_feasible() {
+        for p in empirical_grid() {
+            assert!(
+                partial_compaction::adversary::optimal_rho(p.m(), p.log_n(), p.c()).is_some(),
+                "{p} must be feasible"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_variants_cover_the_space() {
+        let names: Vec<_> = ablation_variants().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "full",
+                "no-robson-stage1",
+                "no-regimented",
+                "no-halves",
+                "baseline"
+            ]
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Every bound the paper states, evaluable as code:
+//!
+//! | module | result | source |
+//! |---|---|---|
+//! | [`thm1`] | lower bound `M·h` for c-partial managers | **this paper, Theorem 1** |
+//! | [`thm2`] | upper bound for c-partial managers | **this paper, Theorem 2** |
+//! | [`robson`] | matching no-compaction bounds | Robson 1971/1974 (§2.2) |
+//! | [`bp11`] | `(c+1)·M` upper bound and the asymptotic lower bound | Bendersky–Petrank POPL'11 (§2.2) |
+
+pub mod bp11;
+pub mod robson;
+pub mod thm1;
+pub mod thm2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    #[test]
+    fn the_ordering_story_of_the_paper_holds() {
+        // At realistic parameters: trivial ≤ \[4\]-lower ≤ Thm1-lower ≤
+        // Thm2-upper ≤ prior-best-upper.
+        for c in (20..=100).step_by(10) {
+            let p = Params::paper_example(c);
+            let bp11_lower = bp11::lower_factor(p);
+            let thm1_lower = thm1::factor(p);
+            let thm2_upper = thm2::factor(p).unwrap();
+            let prior_upper = thm2::prior_best_factor(p);
+            assert!(1.0 <= bp11_lower, "c={c}");
+            assert!(bp11_lower <= thm1_lower, "c={c}");
+            assert!(thm1_lower <= thm2_upper, "c={c}");
+            assert!(thm2_upper <= prior_upper, "c={c}");
+        }
+    }
+}

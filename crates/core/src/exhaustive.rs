@@ -1,0 +1,286 @@
+//! Exhaustive worst-case search at toy scale: model checking the model.
+//!
+//! The adversaries in `pcb-adversary` are *constructions* — clever but
+//! specific. At tiny parameters we can instead enumerate **every**
+//! program in `P2(M, n)` against a (stateless) placement policy and find
+//! the true worst-case heap size by exhausting the reachable
+//! heap-configuration space. That provides an independent check of the
+//! whole framework:
+//!
+//! * the true worst case must be at least Robson's lower-bound formula
+//!   (it is a bound on the *best* allocator, and our policies are not
+//!   better than the best);
+//! * the constructive adversary [`RobsonProgram`](pcb_adversary::RobsonProgram)
+//!   must achieve a heap no larger than the true worst case;
+//! * the search's witness value pins each policy's exact toy-scale worst
+//!   case as a regression constant.
+//!
+//! Only non-moving, *stateless* policies are searchable (the heap
+//! configuration then fully determines future behaviour); that covers
+//! first-fit and best-fit. The state space is the set of reachable
+//! interval configurations, deduplicated, so the search is a plain BFS.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::params::Params;
+
+/// A stateless placement policy searchable by [`worst_case`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchPolicy {
+    /// Lowest-address gap that fits, else the frontier.
+    FirstFit,
+    /// Smallest gap that fits (ties: lowest address), else the frontier.
+    BestFit,
+}
+
+impl SearchPolicy {
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchPolicy::FirstFit => "first-fit",
+            SearchPolicy::BestFit => "best-fit",
+        }
+    }
+
+    /// Places a `size`-word object into the configuration (sorted,
+    /// disjoint, coalesced-free-space implied) and returns the address.
+    fn place(self, occ: &[(u64, u64)], size: u64) -> u64 {
+        // Gaps between intervals (and before the first).
+        let mut best: Option<(u64, u64)> = None; // (len, start)
+        let mut cursor = 0u64;
+        for &(start, len) in occ {
+            if start > cursor {
+                let gap = start - cursor;
+                if gap >= size {
+                    match self {
+                        SearchPolicy::FirstFit => return cursor,
+                        SearchPolicy::BestFit => {
+                            if best.is_none_or(|(bl, _)| gap < bl) {
+                                best = Some((gap, cursor));
+                            }
+                        }
+                    }
+                }
+            }
+            cursor = cursor.max(start + len);
+        }
+        match best {
+            Some((_, start)) => start,
+            None => cursor, // frontier
+        }
+    }
+}
+
+/// The result of an exhaustive search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorstCase {
+    /// The true worst-case heap size in words.
+    pub heap_size: u64,
+    /// Number of distinct reachable heap configurations.
+    pub states: usize,
+}
+
+/// Exhausts every `P2(M, n)` program against the policy and returns the
+/// maximum heap span any program can force.
+///
+/// `limit` caps the explored address range as a safety net; the search
+/// panics if the worst case reaches it (meaning the cap was too small to
+/// certify a maximum). A cap of `4·M·log₂(n+2)` words is ample for toy
+/// parameters.
+///
+/// ```
+/// use partial_compaction::{exhaustive::{worst_case, SearchPolicy}, Params};
+/// let p = Params::new(6, 1, 10)?; // M = 6 words, sizes {1, 2}
+/// let wc = worst_case(p, SearchPolicy::FirstFit, 100_000);
+/// assert_eq!(wc.heap_size, 9); // vs Robson's 8 for the optimal allocator
+/// # Ok::<(), partial_compaction::ParamsError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the reachable configurations exceed `max_states` (the
+/// parameters were not "toy" enough) or the address `limit` is hit.
+pub fn worst_case(params: Params, policy: SearchPolicy, max_states: usize) -> WorstCase {
+    let m = params.m();
+    let limit = 4 * m * (params.log_n() as u64 + 2);
+    // Sizes: the P2 discipline.
+    let sizes: Vec<u64> = (0..=params.log_n()).map(|k| 1u64 << k).collect();
+
+    // A state is the sorted tuple of occupied intervals (start, len).
+    type State = Vec<(u64, u64)>;
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    let mut worst = 0u64;
+
+    seen.insert(Vec::new());
+    queue.push_back(Vec::new());
+
+    while let Some(state) = queue.pop_front() {
+        let live: u64 = state.iter().map(|&(_, l)| l).sum();
+        let span = state.last().map(|&(s, l)| s + l).unwrap_or(0);
+        worst = worst.max(span);
+        assert!(
+            span < limit,
+            "address cap reached; enlarge the limit to certify a maximum"
+        );
+
+        // Successors: allocate any P2 size that fits under M.
+        for &size in &sizes {
+            if live + size > m {
+                continue;
+            }
+            let addr = policy.place(&state, size);
+            let mut next = state.clone();
+            let pos = next.partition_point(|&(s, _)| s < addr);
+            next.insert(pos, (addr, size));
+            if seen.insert(next.clone()) {
+                assert!(
+                    seen.len() <= max_states,
+                    "state space exceeded {max_states}; parameters are not toy-scale"
+                );
+                queue.push_back(next);
+            }
+        }
+        // Successors: free any single object.
+        for i in 0..state.len() {
+            let mut next = state.clone();
+            next.remove(i);
+            if seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+
+    WorstCase {
+        heap_size: worst,
+        states: seen.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::robson;
+    use pcb_adversary::RobsonProgram;
+    use pcb_alloc::{FitPolicy, FreeListManager};
+    use pcb_heap::{Execution, Heap};
+
+    fn toy(m: u64, log_n: u32) -> Params {
+        Params::new(m, log_n, 10).expect("toy parameters are valid")
+    }
+
+    #[test]
+    fn true_worst_case_dominates_robsons_lower_bound() {
+        // Robson's formula lower-bounds the BEST allocator; any concrete
+        // policy's true worst case is at least that.
+        for (m, log_n) in [(6u64, 1u32), (8, 1), (8, 2)] {
+            let params = toy(m, log_n);
+            let bound = robson::bound_p2(params);
+            for policy in [SearchPolicy::FirstFit, SearchPolicy::BestFit] {
+                let wc = worst_case(params, policy, 3_000_000);
+                assert!(
+                    wc.heap_size as f64 >= bound.floor(),
+                    "{} at M={m}, log n={log_n}: true worst {} < Robson {bound}",
+                    policy.name(),
+                    wc.heap_size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constructive_adversary_never_exceeds_the_true_worst_case() {
+        // P_R is one program; the exhaustive maximum is over all of them.
+        let (m, log_n) = (8u64, 1u32);
+        let params = toy(m, log_n);
+        let wc = worst_case(params, SearchPolicy::FirstFit, 3_000_000);
+        let program = RobsonProgram::new(m, log_n);
+        let mut exec = Execution::new(
+            Heap::non_moving(),
+            program,
+            FreeListManager::new(FitPolicy::FirstFit),
+        );
+        let report = exec.run().expect("P_R runs");
+        assert!(
+            report.heap_size <= wc.heap_size,
+            "P_R {} exceeds the exhaustive maximum {}",
+            report.heap_size,
+            wc.heap_size
+        );
+    }
+
+    #[test]
+    fn pinned_toy_scale_worst_cases() {
+        // Exact regression constants (see EXPERIMENTS.md E11). Robson's
+        // formula gives 8 at (M=6, n=2) and 11 at (M=8, n=2) for the
+        // OPTIMAL allocator; concrete policies do strictly worse, and
+        // best-fit is sometimes worse than first-fit (the classic
+        // anomaly).
+        let p62 = toy(6, 1);
+        assert_eq!(
+            worst_case(p62, SearchPolicy::FirstFit, 3_000_000).heap_size,
+            9
+        );
+        assert_eq!(
+            worst_case(p62, SearchPolicy::BestFit, 3_000_000).heap_size,
+            9
+        );
+        let p82 = toy(8, 1);
+        assert_eq!(
+            worst_case(p82, SearchPolicy::FirstFit, 3_000_000).heap_size,
+            12
+        );
+        assert_eq!(
+            worst_case(p82, SearchPolicy::BestFit, 3_000_000).heap_size,
+            13
+        );
+    }
+
+    #[test]
+    fn fixed_size_programs_cannot_fragment() {
+        // log n = 0 is rejected by Params, so emulate: sizes {1} via
+        // log_n = 1 but M too small for any size-2 object to matter...
+        // Direct check instead: a single-size search space never exceeds
+        // M. Use the policy placer directly.
+        let occ = vec![(0u64, 1), (2, 1), (4, 1)];
+        // Unit holes are always reusable by unit objects.
+        assert_eq!(SearchPolicy::FirstFit.place(&occ, 1), 1);
+        assert_eq!(SearchPolicy::BestFit.place(&occ, 1), 1);
+    }
+
+    #[test]
+    fn placer_matches_the_real_freelist_manager() {
+        // The search's pure placer must agree with the production
+        // FreeListManager on the same configuration.
+        use pcb_heap::{Addr, Size};
+        let occ = vec![(0u64, 2), (4, 1), (8, 4)];
+        for (policy, fit) in [
+            (SearchPolicy::FirstFit, FitPolicy::FirstFit),
+            (SearchPolicy::BestFit, FitPolicy::BestFit),
+        ] {
+            for size in [1u64, 2, 3, 5] {
+                // Recreate `occ` through the real manager: allocate
+                // [0,2) [2,4) [4,5) [5,8) [8,12), free [2,4) and [5,8),
+                // then allocate the probe (allocation index 5).
+                let program = pcb_heap::ScriptedProgram::new(Size::new(100))
+                    .round([], [2, 2, 1, 3, 4])
+                    .round([1, 3], [size]);
+                let mut exec =
+                    Execution::new(Heap::non_moving(), program, FreeListManager::new(fit));
+                exec.run().unwrap();
+                let placed = exec
+                    .heap()
+                    .live_objects()
+                    .find(|r| r.id().get() == 5)
+                    .map(|r| r.addr());
+                let expect = policy.place(&occ, size);
+                assert_eq!(
+                    placed,
+                    Some(Addr::new(expect)),
+                    "{} size {size}",
+                    policy.name()
+                );
+            }
+        }
+    }
+}

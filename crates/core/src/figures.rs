@@ -1,0 +1,157 @@
+//! The data series behind every figure in the paper's evaluation.
+//!
+//! The paper's figures are analytic (they plot the bound formulas, not
+//! measurements); these functions regenerate the exact series at the
+//! paper's parameters. The `pcb-bench` crate prints them as CSV and
+//! exercises them under Criterion.
+
+use crate::bounds::{bp11, robson, thm1, thm2};
+use crate::params::Params;
+
+/// One point of Figure 1: the lower-bound waste factor vs. `c`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Fig1Row {
+    /// Compaction bound.
+    pub c: u64,
+    /// Theorem 1's waste factor `h` (ρ optimized), clamped at 1.
+    pub h: f64,
+    /// The optimizing density exponent `ρ`.
+    pub rho: u32,
+    /// The \[4\] lower bound at the same parameters (clamped at 1).
+    pub bp11: f64,
+}
+
+/// Figure 1: lower bound on the waste factor for `M = 256 MB`,
+/// `n = 1 MB` (words: `2^28`, `2^20`), `c = 10..=100`.
+pub fn figure1() -> Vec<Fig1Row> {
+    (10..=100)
+        .map(|c| {
+            let p = Params::paper_example(c);
+            let (rho, _) = thm1::optimal(p).expect("feasible at paper parameters");
+            Fig1Row {
+                c,
+                h: thm1::factor(p),
+                rho,
+                bp11: bp11::lower_factor(p),
+            }
+        })
+        .collect()
+}
+
+/// One point of Figure 2: the lower-bound waste factor vs. `n`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Fig2Row {
+    /// `log₂ n` (n in words; the paper sweeps 1 KB to 1 GB).
+    pub log_n: u32,
+    /// Live bound `M = 256·n`.
+    pub m: u64,
+    /// Theorem 1's waste factor, clamped at 1.
+    pub h: f64,
+    /// The optimizing `ρ`.
+    pub rho: u32,
+}
+
+/// Figure 2: lower bound on the waste factor as a function of `n`
+/// (`c = 100`, `M = 256·n`, `n = 2^10 ..= 2^30`).
+pub fn figure2() -> Vec<Fig2Row> {
+    (10..=30)
+        .map(|log_n| {
+            let p = Params::new(256u64 << log_n, log_n, 100).expect("valid sweep point");
+            let (rho, _) = thm1::optimal(p).expect("feasible across the sweep");
+            Fig2Row {
+                log_n,
+                m: p.m(),
+                h: thm1::factor(p),
+                rho,
+            }
+        })
+        .collect()
+}
+
+/// One point of Figure 3: upper-bound waste factors vs. `c`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Fig3Row {
+    /// Compaction bound.
+    pub c: u64,
+    /// Theorem 2's waste factor (`None` below its `c > ½ log n` threshold).
+    pub thm2: Option<f64>,
+    /// The `(c+1)` factor of \[4\].
+    pub bp11_upper: f64,
+    /// Robson's doubled factor (compaction-free, arbitrary sizes).
+    pub robson_doubled: f64,
+    /// The prior best: `min(bp11_upper, robson_doubled)`.
+    pub prior_best: f64,
+}
+
+/// Figure 3: upper bound on the waste factor for the Figure-1 parameters,
+/// `c = 10..=100`.
+pub fn figure3() -> Vec<Fig3Row> {
+    (10..=100)
+        .map(|c| {
+            let p = Params::paper_example(c);
+            Fig3Row {
+                c,
+                thm2: thm2::factor(p),
+                bp11_upper: bp11::upper_factor(p),
+                robson_doubled: robson::factor_arbitrary(p),
+                prior_best: thm2::prior_best_factor(p),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let rows = figure1();
+        assert_eq!(rows.len(), 91);
+        // Monotone non-decreasing in c; \[4\] flat at the trivial 1.
+        for pair in rows.windows(2) {
+            assert!(pair[1].h >= pair[0].h - 1e-9, "h dips at c={}", pair[1].c);
+        }
+        assert!(rows.iter().all(|r| r.bp11 == 1.0));
+        // The paper's three quoted points.
+        let at = |c: u64| rows.iter().find(|r| r.c == c).unwrap().h;
+        assert!((at(10) - 2.0).abs() < 0.05);
+        assert!((at(50) - 3.15).abs() < 0.05);
+        assert!((at(100) - 3.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let rows = figure2();
+        assert_eq!(rows.len(), 21);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].h >= pair[0].h - 1e-9,
+                "h dips at log n = {}",
+                pair[1].log_n
+            );
+        }
+        // Small n: modest bound; large n: beyond 4x (the paper's Figure 2
+        // spans roughly 2.5..4+ over 1KB..1GB).
+        assert!(rows.first().unwrap().h < 3.0);
+        assert!(rows.last().unwrap().h > 4.0);
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let rows = figure3();
+        assert_eq!(rows.len(), 91);
+        for r in &rows {
+            assert_eq!(
+                r.prior_best,
+                r.bp11_upper.min(r.robson_doubled),
+                "c={}",
+                r.c
+            );
+            if r.c >= 20 {
+                let t = r.thm2.expect("applies for c >= 11");
+                assert!(t < r.prior_best, "c={}: no improvement", r.c);
+            }
+        }
+    }
+}

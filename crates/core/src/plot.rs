@@ -1,0 +1,152 @@
+//! Minimal ASCII line charts for terminal-first figure inspection
+//! (`pcb figure 1 --plot`).
+//!
+//! One canvas, multiple series, distinct glyphs, a y-axis with min/max
+//! labels — enough to eyeball the shape of every figure without leaving
+//! the terminal.
+
+use crate::sweep::Series;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders the series onto a `width × height` canvas.
+///
+/// Points are mapped linearly from the joint x/y ranges of all series;
+/// each series draws with its own glyph (later series overwrite earlier
+/// ones on collisions). Returns an empty string if no series has points.
+///
+/// ```
+/// use partial_compaction::plot::render;
+/// use partial_compaction::sweep::{over_c, Bound};
+/// let s = over_c(Bound::Thm1Lower, 1 << 28, 20, 10..=100);
+/// let chart = render(&[s], 60, 12);
+/// assert!(chart.contains('*'));
+/// assert!(chart.lines().count() >= 12);
+/// ```
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 3, "canvas too small");
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if points.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (row, line) in canvas.iter().enumerate() {
+        let label = if row == 0 {
+            format!("{y_max:>8.2} ")
+        } else if row == height - 1 {
+            format!("{y_min:>8.2} ")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:9}{:<.1}{}{:>.1}\n",
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(8)),
+        x_max
+    ));
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:9}{} = {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{over_c, Bound};
+
+    #[test]
+    fn renders_figure_1_shape() {
+        let s = over_c(Bound::Thm1Lower, 1 << 28, 20, 10..=100);
+        let chart = render(&[s], 60, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("= thm1-lower"));
+        // Monotone series: the topmost glyph row should be near the right.
+        let first_glyph_row = chart.lines().position(|l| l.contains('*')).unwrap();
+        let star_col = chart
+            .lines()
+            .nth(first_glyph_row)
+            .unwrap()
+            .rfind('*')
+            .unwrap();
+        assert!(star_col > 30, "peak should be on the right: col {star_col}");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = over_c(Bound::Thm1Lower, 1 << 28, 20, 10..=100);
+        let b = over_c(Bound::Bp11Lower, 1 << 28, 20, 10..=100);
+        let chart = render(&[a, b], 40, 8);
+        assert!(chart.contains('*') && chart.contains('o'));
+        assert!(chart.contains("= bp11-lower"));
+    }
+
+    #[test]
+    fn empty_series_renders_empty() {
+        let empty = Series {
+            label: "nothing".into(),
+            points: Vec::new(),
+        };
+        assert_eq!(render(&[empty], 40, 8), "");
+    }
+
+    #[test]
+    fn axis_labels_show_extremes() {
+        let s = over_c(Bound::Thm1Lower, 1 << 28, 20, 10..=100);
+        let chart = render(&[s], 40, 8);
+        assert!(chart.contains("10"), "x min");
+        assert!(chart.contains("100"), "x max");
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_panics() {
+        let s = over_c(Bound::Thm1Lower, 1 << 28, 20, 10..=20);
+        let _ = render(&[s], 4, 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! High-level simulation harness: one call to pit an adversary against a
+//! manager and get a report comparing the measured heap against the
+//! paper's bounds.
+
+use core::fmt;
+
+use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
+use pcb_alloc::ManagerKind;
+use pcb_heap::{Execution, ExecutionError, Heap};
+
+use crate::bounds::thm1;
+use crate::params::Params;
+
+/// Which adversary to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adversary {
+    /// The paper's `P_F` (Algorithm 1) with the given variant.
+    Pf(PfVariant),
+    /// Robson's `P_R` (Algorithm 2); meaningful against non-moving
+    /// managers.
+    Robson,
+}
+
+impl Adversary {
+    /// The paper's full `P_F`.
+    pub const PF: Adversary = Adversary::Pf(PfVariant::FULL);
+}
+
+/// Outcome of one adversary-vs-manager simulation.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimReport {
+    /// The underlying execution report.
+    pub execution: pcb_heap::Report,
+    /// Theorem 1's waste factor for the parameters (1.0 when infeasible).
+    pub h: f64,
+    /// The density exponent `ρ` used (0 for Robson runs).
+    pub rho: u32,
+    /// Measured waste divided by the theoretical bound (≥ 1 certifies the
+    /// lower bound empirically for this manager).
+    pub waste_over_bound: f64,
+    /// `s₁, s₂, q₁, q₂` (allocated / compacted words per stage; zeros for
+    /// Robson runs).
+    pub stage_words: [u64; 4],
+    /// The final potential `u(t_finish)` in words, when tracked.
+    pub final_potential: Option<i128>,
+    /// Analysis violations recorded during a validated run.
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: HS/M = {:.3} (bound h = {:.3}, ratio {:.3}), moved {:.4}",
+            self.execution.program,
+            self.execution.manager,
+            self.execution.waste_factor,
+            self.h,
+            self.waste_over_bound,
+            self.execution.moved_fraction
+        )
+    }
+}
+
+/// Runs an adversary against a manager at the given parameters.
+///
+/// ```
+/// use partial_compaction::{sim, ManagerKind, Params};
+/// let params = Params::new(1 << 13, 9, 15)?;
+/// let report = sim::run(params, sim::Adversary::PF, ManagerKind::Tlsf, false)
+///     .expect("runs");
+/// assert!(report.waste_over_bound >= 0.9);
+/// # Ok::<(), partial_compaction::ParamsError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`ExecutionError`]s (e.g. a manager that cannot serve a
+/// request) and rejects infeasible `P_F` parameter combinations.
+pub fn run(
+    params: Params,
+    adversary: Adversary,
+    manager: ManagerKind,
+    validate: bool,
+) -> Result<SimReport, SimError> {
+    match adversary {
+        Adversary::Pf(variant) => {
+            let mut cfg = PfConfig::new(params.m(), params.log_n(), params.c())
+                .map_err(SimError::Infeasible)?
+                .with_variant(variant);
+            if validate {
+                cfg = cfg.with_validation();
+            }
+            let rho = cfg.rho;
+            let h = cfg.h;
+            let heap = if manager.is_unbounded() {
+                Heap::unlimited_compaction()
+            } else {
+                Heap::new(params.c())
+            };
+            let mut exec = Execution::new(
+                heap,
+                PfProgram::new(cfg),
+                manager.build(params.c(), params.m(), params.log_n()),
+            );
+            let execution = exec.run().map_err(SimError::Execution)?;
+            let program = exec.program();
+            let waste_over_bound = execution.waste_factor / h.max(1.0);
+            Ok(SimReport {
+                h: h.max(1.0),
+                rho,
+                waste_over_bound,
+                stage_words: [
+                    program.s1_words(),
+                    program.s2_words(),
+                    program.q1_words(),
+                    program.q2_words(),
+                ],
+                final_potential: program.potential(),
+                violations: program.violations().to_vec(),
+                execution,
+            })
+        }
+        Adversary::Robson => {
+            let program = RobsonProgram::new(params.m(), params.log_n());
+            let heap = if manager.is_unbounded() {
+                Heap::unlimited_compaction()
+            } else if manager.is_compacting() {
+                Heap::new(params.c())
+            } else {
+                Heap::non_moving()
+            };
+            let mut exec = Execution::new(
+                heap,
+                program,
+                manager.build(params.c(), params.m(), params.log_n()),
+            );
+            let execution = exec.run().map_err(SimError::Execution)?;
+            let bound =
+                RobsonProgram::robson_lower_bound(params.m(), params.log_n()) / params.m() as f64;
+            let waste_over_bound = execution.waste_factor / bound;
+            Ok(SimReport {
+                h: bound,
+                rho: 0,
+                waste_over_bound,
+                stage_words: [0; 4],
+                final_potential: None,
+                violations: Vec::new(),
+                execution,
+            })
+        }
+    }
+}
+
+/// Theorem 1's bound for quick reference alongside a simulation.
+pub fn theoretical_bound(params: Params) -> f64 {
+    thm1::factor(params)
+}
+
+/// Errors from the simulation harness.
+#[derive(Debug)]
+pub enum SimError {
+    /// The `P_F` parameters admit no feasible `ρ`.
+    Infeasible(String),
+    /// The underlying execution failed.
+    Execution(ExecutionError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Infeasible(msg) => write!(f, "infeasible parameters: {msg}"),
+            SimError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Execution(e) => Some(e),
+            SimError::Infeasible(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Params {
+        Params::new(1 << 14, 10, 20).unwrap()
+    }
+
+    #[test]
+    fn pf_run_produces_consistent_report() {
+        let report = run(small(), Adversary::PF, ManagerKind::FirstFit, true).unwrap();
+        assert!(report.waste_over_bound >= 0.95);
+        assert!(report.violations.is_empty());
+        assert_eq!(
+            report.execution.words_placed,
+            report.stage_words[0] + report.stage_words[1]
+        );
+        assert!(report.final_potential.unwrap() <= report.execution.heap_size as i128);
+        let display = report.to_string();
+        assert!(display.contains("pf vs first-fit"));
+    }
+
+    #[test]
+    fn robson_run_produces_consistent_report() {
+        let report = run(small(), Adversary::Robson, ManagerKind::BestFit, false).unwrap();
+        assert!(report.waste_over_bound >= 1.0);
+        assert_eq!(report.rho, 0);
+        assert_eq!(report.execution.objects_moved, 0);
+    }
+
+    #[test]
+    fn infeasible_parameters_are_reported() {
+        // c = 2 admits no rho (needs 2^rho <= 3c/4 = 1.5 with rho >= 1).
+        let p = Params::new(1 << 14, 10, 2).unwrap();
+        assert!(matches!(
+            run(p, Adversary::PF, ManagerKind::FirstFit, false),
+            Err(SimError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn compacting_managers_get_budgeted_heaps() {
+        let report = run(small(), Adversary::PF, ManagerKind::PagesThm2, false).unwrap();
+        assert!(report.execution.moved_fraction <= 1.0 / 20.0 + 1e-12);
+    }
+
+    #[test]
+    fn full_compaction_beats_the_bound_because_it_is_not_c_partial() {
+        // The paper's contrast: with unlimited compaction the overhead
+        // factor is ~1 against the very same adversary that forces h > 1
+        // on every c-partial manager.
+        let report = run(small(), Adversary::PF, ManagerKind::FullCompaction, false).unwrap();
+        assert!(
+            report.execution.waste_factor <= 1.05,
+            "full compaction wastes {}",
+            report.execution.waste_factor
+        );
+        assert!(
+            report.execution.moved_fraction > 1.0 / 20.0,
+            "it must have exceeded the c-partial budget to do so"
+        );
+        assert!(
+            report.h > 1.5,
+            "the c-partial bound it beats is non-trivial"
+        );
+    }
+}

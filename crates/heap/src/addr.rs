@@ -1,0 +1,424 @@
+//! Word-granularity addresses and sizes.
+//!
+//! The simulator measures everything in *words*, the paper's unit: the
+//! smallest allocatable object has size 1 and the largest has size `n`.
+//! [`Addr`] is a position in an unbounded address space and [`Size`] an
+//! extent in words. Both are thin newtypes over `u64` so that positions and
+//! extents cannot be confused ([C-NEWTYPE]).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A word address in the simulated (unbounded) address space.
+///
+/// ```
+/// use pcb_heap::{Addr, Size};
+/// let a = Addr::new(16);
+/// assert_eq!(a + Size::new(4), Addr::new(20));
+/// assert_eq!(a.align_down(8), Addr::new(16));
+/// assert_eq!(Addr::new(17).align_up(8), Addr::new(24));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+/// A size (extent) in words.
+///
+/// ```
+/// use pcb_heap::Size;
+/// assert_eq!(Size::new(3) + Size::new(4), Size::new(7));
+/// assert!(Size::new(8).is_power_of_two());
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Size(u64);
+
+impl Addr {
+    /// The zero address, where well-behaved managers start their heap.
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from a raw word offset.
+    #[inline]
+    pub const fn new(words: u64) -> Self {
+        Addr(words)
+    }
+
+    /// The raw word offset of this address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Rounds this address down to a multiple of `align` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Self {
+        assert!(align > 0, "alignment must be positive");
+        Addr(self.0 - self.0 % align)
+    }
+
+    /// Rounds this address up to a multiple of `align` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Self {
+        assert!(align > 0, "alignment must be positive");
+        let rem = self.0 % align;
+        if rem == 0 {
+            self
+        } else {
+            Addr(self.0 + (align - rem))
+        }
+    }
+
+    /// Whether this address is a multiple of `align` words.
+    #[inline]
+    pub fn is_aligned_to(self, align: u64) -> bool {
+        align > 0 && self.0.is_multiple_of(align)
+    }
+
+    /// The distance in words from `other` (which must not exceed `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    #[inline]
+    pub fn offset_from(self, other: Addr) -> Size {
+        assert!(other <= self, "offset_from: {other} > {self}");
+        Size(self.0 - other.0)
+    }
+
+    /// Saturating offset of this address modulo `modulus` (the paper's
+    /// "address modulo 2^i" used when reasoning about chunk-relative
+    /// positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    #[inline]
+    pub fn modulo(self, modulus: u64) -> u64 {
+        assert!(modulus > 0, "modulus must be positive");
+        self.0 % modulus
+    }
+}
+
+impl Size {
+    /// The zero size.
+    pub const ZERO: Size = Size(0);
+    /// One word, the smallest allocatable object in the paper's model.
+    pub const WORD: Size = Size(1);
+
+    /// Creates a size from a word count.
+    #[inline]
+    pub const fn new(words: u64) -> Self {
+        Size(words)
+    }
+
+    /// The raw word count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this size is zero words.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this size is a power of two (the object-size discipline of
+    /// program class `P2(M, n)`).
+    #[inline]
+    pub const fn is_power_of_two(self) -> bool {
+        self.0.is_power_of_two()
+    }
+
+    /// The smallest power of two that is `>= self`; used when rounding
+    /// arbitrary sizes up to the `P2` discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes and on overflow.
+    #[inline]
+    pub fn next_power_of_two(self) -> Size {
+        assert!(self.0 > 0, "zero sizes have no power-of-two rounding");
+        Size(self.0.next_power_of_two())
+    }
+
+    /// `log2` of a power-of-two size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not a power of two.
+    #[inline]
+    pub fn log2(self) -> u32 {
+        assert!(self.is_power_of_two(), "log2 of non-power-of-two {self}");
+        self.0.trailing_zeros()
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Size) -> Size {
+        Size(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Size> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: Size) -> Addr {
+        Addr(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Size> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: Size) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Size> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn sub(self, rhs: Size) -> Addr {
+        Addr(self.0 - rhs.0)
+    }
+}
+
+impl Add for Size {
+    type Output = Size;
+    #[inline]
+    fn add(self, rhs: Size) -> Size {
+        Size(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Size {
+    #[inline]
+    fn add_assign(&mut self, rhs: Size) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Size {
+    type Output = Size;
+    #[inline]
+    fn sub(self, rhs: Size) -> Size {
+        assert!(rhs.0 <= self.0, "size underflow: {self} - {rhs}");
+        Size(self.0 - rhs.0)
+    }
+}
+
+impl core::iter::Sum for Size {
+    fn sum<I: Iterator<Item = Size>>(iter: I) -> Size {
+        Size(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}w", self.0)
+    }
+}
+
+impl From<u64> for Size {
+    fn from(words: u64) -> Self {
+        Size(words)
+    }
+}
+
+impl From<Size> for u64 {
+    fn from(s: Size) -> u64 {
+        s.0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(words: u64) -> Self {
+        Addr(words)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+/// A half-open interval `[start, end)` of words: the footprint of an object
+/// or a free gap.
+///
+/// ```
+/// use pcb_heap::{Addr, Extent, Size};
+/// let e = Extent::new(Addr::new(8), Size::new(4));
+/// assert_eq!(e.end(), Addr::new(12));
+/// assert!(e.contains(Addr::new(11)));
+/// assert!(!e.contains(Addr::new(12)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    start: Addr,
+    size: Size,
+}
+
+impl Extent {
+    /// Creates the extent `[start, start + size)`.
+    #[inline]
+    pub const fn new(start: Addr, size: Size) -> Self {
+        Extent { start, size }
+    }
+
+    /// Creates an extent from raw start/size word counts.
+    #[inline]
+    pub const fn from_raw(start: u64, size: u64) -> Self {
+        Extent {
+            start: Addr::new(start),
+            size: Size::new(size),
+        }
+    }
+
+    /// First word of the extent.
+    #[inline]
+    pub const fn start(self) -> Addr {
+        self.start
+    }
+
+    /// One past the last word of the extent.
+    #[inline]
+    pub fn end(self) -> Addr {
+        self.start + self.size
+    }
+
+    /// Extent length in words.
+    #[inline]
+    pub const fn size(self) -> Size {
+        self.size
+    }
+
+    /// Whether `addr` lies inside the extent.
+    #[inline]
+    pub fn contains(self, addr: Addr) -> bool {
+        self.start <= addr && addr < self.end()
+    }
+
+    /// Whether the two extents share at least one word.
+    #[inline]
+    pub fn overlaps(self, other: Extent) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// The number of words shared by the two extents.
+    #[inline]
+    pub fn overlap_words(self, other: Extent) -> Size {
+        if !self.overlaps(other) {
+            return Size::ZERO;
+        }
+        let lo = self.start.max(other.start);
+        let hi = self.end().min(other.end());
+        hi.offset_from(lo)
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start.get(), self.end().get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_arithmetic_round_trips() {
+        let a = Addr::new(100);
+        assert_eq!((a + Size::new(28)).offset_from(a), Size::new(28));
+        assert_eq!(a + Size::ZERO, a);
+        assert_eq!((a + Size::new(5)) - Size::new(5), a);
+    }
+
+    #[test]
+    fn addr_alignment() {
+        assert_eq!(Addr::new(0).align_up(16), Addr::new(0));
+        assert_eq!(Addr::new(1).align_up(16), Addr::new(16));
+        assert_eq!(Addr::new(16).align_up(16), Addr::new(16));
+        assert_eq!(Addr::new(31).align_down(16), Addr::new(16));
+        assert!(Addr::new(48).is_aligned_to(16));
+        assert!(!Addr::new(49).is_aligned_to(16));
+        assert!(Addr::new(7).is_aligned_to(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be positive")]
+    fn zero_alignment_panics() {
+        let _ = Addr::new(3).align_up(0);
+    }
+
+    #[test]
+    fn size_log2_and_pow2() {
+        assert_eq!(Size::new(1).log2(), 0);
+        assert_eq!(Size::new(1024).log2(), 10);
+        assert_eq!(Size::new(3).next_power_of_two(), Size::new(4));
+        assert_eq!(Size::new(4).next_power_of_two(), Size::new(4));
+        assert!(!Size::new(12).is_power_of_two());
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 of non-power-of-two")]
+    fn log2_rejects_non_power() {
+        let _ = Size::new(12).log2();
+    }
+
+    #[test]
+    fn size_sum_and_saturation() {
+        let total: Size = [1u64, 2, 3].into_iter().map(Size::new).sum();
+        assert_eq!(total, Size::new(6));
+        assert_eq!(Size::new(2).saturating_sub(Size::new(5)), Size::ZERO);
+    }
+
+    #[test]
+    fn extent_overlap_geometry() {
+        let a = Extent::from_raw(0, 10);
+        let b = Extent::from_raw(10, 5);
+        let c = Extent::from_raw(9, 2);
+        assert!(!a.overlaps(b), "touching extents do not overlap");
+        assert!(a.overlaps(c));
+        assert!(b.overlaps(c));
+        assert_eq!(a.overlap_words(c), Size::new(1));
+        assert_eq!(b.overlap_words(c), Size::new(1));
+        assert_eq!(a.overlap_words(b), Size::ZERO);
+        assert_eq!(a.overlap_words(a), Size::new(10));
+    }
+
+    #[test]
+    fn extent_contains_is_half_open() {
+        let e = Extent::from_raw(4, 4);
+        assert!(e.contains(Addr::new(4)));
+        assert!(e.contains(Addr::new(7)));
+        assert!(!e.contains(Addr::new(8)));
+        assert!(!e.contains(Addr::new(3)));
+    }
+
+    #[test]
+    fn addr_rem_matches_modulo() {
+        assert_eq!(Addr::new(37).modulo(8), 5);
+        assert_eq!(Addr::new(64).modulo(8), 0);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(Addr::new(3).to_string(), "@3");
+        assert_eq!(Size::new(3).to_string(), "3w");
+        assert_eq!(Extent::from_raw(1, 2).to_string(), "[1, 3)");
+    }
+}

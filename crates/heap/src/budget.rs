@@ -1,0 +1,242 @@
+//! The c-partial compaction budget (Section 2.1 of the paper).
+//!
+//! A memory manager is *c-partial* if, whenever the program has allocated a
+//! cumulative total of `s` words, the cumulative amount of data the manager
+//! has moved is at most `s / c` words. The ledger below tracks both sides of
+//! that inequality exactly in integer arithmetic (the paper's `c` is an
+//! integer constant in all of its evaluations), so budget enforcement never
+//! suffers from rounding.
+
+use core::fmt;
+
+use crate::addr::Size;
+
+/// Exact ledger for the c-partial compaction constraint.
+///
+/// ```
+/// use pcb_heap::{CompactionBudget, Size};
+/// let mut b = CompactionBudget::new(10); // may move 10% of allocated space
+/// b.on_allocated(Size::new(100));
+/// assert_eq!(b.allowance(), Size::new(10));
+/// assert!(b.can_move(Size::new(10)));
+/// b.on_moved(Size::new(10)).unwrap();
+/// assert!(!b.can_move(Size::new(1)));
+/// b.on_allocated(Size::new(10)); // recharges 1 word
+/// assert!(b.can_move(Size::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionBudget {
+    c: u64,
+    allocated_total: u128,
+    moved_total: u128,
+}
+
+impl CompactionBudget {
+    /// Creates a ledger for a c-partial manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c > 1`, the paper's standing assumption.
+    pub fn new(c: u64) -> Self {
+        assert!(c > 1, "the compaction bound c must exceed 1 (got {c})");
+        CompactionBudget {
+            c,
+            allocated_total: 0,
+            moved_total: 0,
+        }
+    }
+
+    /// A ledger that never permits any move (the `c -> infinity` limit used
+    /// for non-moving managers).
+    pub fn non_moving() -> Self {
+        CompactionBudget {
+            c: u64::MAX,
+            allocated_total: 0,
+            moved_total: 0,
+        }
+    }
+
+    /// A ledger that always permits moves (the full-compaction limit the
+    /// paper contrasts with: "if we were willing to execute a full
+    /// compaction after each de-allocation, then the overhead factor would
+    /// have been 1"). Encoded as `c = 0`, which no c-partial manager can
+    /// have.
+    pub fn unlimited() -> Self {
+        CompactionBudget {
+            c: 0,
+            allocated_total: 0,
+            moved_total: 0,
+        }
+    }
+
+    /// Whether this ledger permits unbounded compaction.
+    pub fn is_unlimited(&self) -> bool {
+        self.c == 0
+    }
+
+    /// The compaction bound `c`.
+    pub fn c(&self) -> u64 {
+        self.c
+    }
+
+    /// Cumulative words allocated by the program so far.
+    pub fn allocated_total(&self) -> u128 {
+        self.allocated_total
+    }
+
+    /// Cumulative words moved by the manager so far.
+    pub fn moved_total(&self) -> u128 {
+        self.moved_total
+    }
+
+    /// Records that the program allocated `size` words (recharges budget).
+    pub fn on_allocated(&mut self, size: Size) {
+        self.allocated_total += u128::from(size.get());
+    }
+
+    /// Words the manager may still move right now:
+    /// `floor(allocated / c) - moved` (saturated at `u64::MAX` for an
+    /// unlimited ledger).
+    pub fn allowance(&self) -> Size {
+        if self.is_unlimited() {
+            return Size::new(u64::MAX);
+        }
+        let cap = self.allocated_total / u128::from(self.c);
+        Size::new(
+            cap.saturating_sub(self.moved_total)
+                .min(u128::from(u64::MAX)) as u64,
+        )
+    }
+
+    /// Whether moving `size` words now would keep the ledger legal, i.e.
+    /// `(moved + size) * c <= allocated`.
+    pub fn can_move(&self, size: Size) -> bool {
+        if self.is_unlimited() {
+            return true;
+        }
+        let would_move = self.moved_total + u128::from(size.get());
+        would_move * u128::from(self.c) <= self.allocated_total
+    }
+
+    /// Records a move of `size` words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (unchanged) remaining allowance if the move would break
+    /// the c-partial constraint.
+    pub fn on_moved(&mut self, size: Size) -> Result<(), Size> {
+        if !self.can_move(size) {
+            return Err(self.allowance());
+        }
+        self.moved_total += u128::from(size.get());
+        Ok(())
+    }
+
+    /// The fraction of allocated space moved so far (0 when nothing has been
+    /// allocated). Always `<= 1/c` for a legal history.
+    pub fn moved_fraction(&self) -> f64 {
+        if self.allocated_total == 0 {
+            0.0
+        } else {
+            self.moved_total as f64 / self.allocated_total as f64
+        }
+    }
+}
+
+impl fmt::Display for CompactionBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c={} allocated={} moved={} allowance={}",
+            self.c,
+            self.allocated_total,
+            self.moved_total,
+            self.allowance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowance_is_floor_of_quota() {
+        let mut b = CompactionBudget::new(3);
+        b.on_allocated(Size::new(10));
+        assert_eq!(b.allowance(), Size::new(3), "floor(10/3) = 3");
+        b.on_moved(Size::new(2)).unwrap();
+        assert_eq!(b.allowance(), Size::new(1));
+    }
+
+    #[test]
+    fn exact_boundary_is_allowed_and_one_more_is_not() {
+        let mut b = CompactionBudget::new(4);
+        b.on_allocated(Size::new(16));
+        assert!(b.can_move(Size::new(4)));
+        assert!(!b.can_move(Size::new(5)));
+        b.on_moved(Size::new(4)).unwrap();
+        assert_eq!(b.on_moved(Size::new(1)), Err(Size::ZERO));
+    }
+
+    #[test]
+    fn recharge_by_allocation() {
+        let mut b = CompactionBudget::new(2);
+        b.on_allocated(Size::new(4));
+        b.on_moved(Size::new(2)).unwrap();
+        assert!(!b.can_move(Size::new(1)));
+        b.on_allocated(Size::new(2));
+        assert!(b.can_move(Size::new(1)));
+        assert!(!b.can_move(Size::new(2)));
+    }
+
+    #[test]
+    fn non_moving_never_permits() {
+        let mut b = CompactionBudget::non_moving();
+        b.on_allocated(Size::new(u64::MAX / 2));
+        assert!(!b.can_move(Size::WORD));
+        assert_eq!(b.allowance(), Size::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn c_of_one_is_rejected() {
+        let _ = CompactionBudget::new(1);
+    }
+
+    #[test]
+    fn moved_fraction_stays_legal() {
+        let mut b = CompactionBudget::new(10);
+        b.on_allocated(Size::new(1000));
+        b.on_moved(Size::new(100)).unwrap();
+        assert!(b.moved_fraction() <= 0.1 + f64::EPSILON);
+        assert!((b.moved_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sized_moves_are_free() {
+        let mut b = CompactionBudget::new(100);
+        assert!(b.can_move(Size::ZERO));
+        b.on_moved(Size::ZERO).unwrap();
+        assert_eq!(b.moved_total(), 0);
+    }
+
+    #[test]
+    fn unlimited_always_permits() {
+        let mut b = CompactionBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.can_move(Size::new(u64::MAX / 2)));
+        b.on_moved(Size::new(1_000_000)).unwrap();
+        assert_eq!(b.moved_total(), 1_000_000);
+        assert_eq!(b.allowance(), Size::new(u64::MAX));
+    }
+
+    #[test]
+    fn no_overflow_at_scale() {
+        let mut b = CompactionBudget::new(2);
+        for _ in 0..64 {
+            b.on_allocated(Size::new(u64::MAX / 64));
+        }
+        assert!(b.can_move(Size::new(u64::MAX / 4)));
+    }
+}

@@ -1,0 +1,437 @@
+//! The simulated heap: object table + occupancy ground truth + c-partial
+//! budget + heap-size accounting.
+//!
+//! The heap does not model memory contents, only placement: that is all the
+//! paper's framework needs. The *heap size* `HS` is measured exactly as the
+//! paper defines it — "the smallest consecutive space that the memory
+//! manager may use to satisfy all allocation requests" — i.e. the peak span
+//! between the lowest and highest word ever occupied during the execution.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, Extent, Size};
+use crate::budget::CompactionBudget;
+use crate::error::HeapError;
+use crate::object::{ObjectId, ObjectIdGen, ObjectRecord};
+use crate::space::SpaceMap;
+
+/// Aggregate operation counts for an execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects placed (allocations served).
+    pub objects_placed: u64,
+    /// Objects freed by the program.
+    pub objects_freed: u64,
+    /// Relocations performed by the manager.
+    pub objects_moved: u64,
+    /// Cumulative words allocated.
+    pub words_placed: u64,
+    /// Cumulative words freed.
+    pub words_freed: u64,
+    /// Cumulative words moved (compaction work).
+    pub words_moved: u64,
+}
+
+/// The simulated heap.
+///
+/// ```
+/// use pcb_heap::{Addr, Heap, Size};
+/// let mut heap = Heap::new(10); // serves a 10-partial manager
+/// let id = heap.fresh_id();
+/// heap.place(id, Addr::new(0), Size::new(64))?;
+/// assert_eq!(heap.live_words(), Size::new(64));
+/// assert_eq!(heap.heap_size(), Size::new(64));
+/// heap.free(id)?;
+/// assert_eq!(heap.live_words(), Size::ZERO);
+/// // Heap size is a *peak* measure; freeing does not shrink it.
+/// assert_eq!(heap.heap_size(), Size::new(64));
+/// # Ok::<(), pcb_heap::HeapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heap {
+    objects: HashMap<ObjectId, ObjectRecord>,
+    space: SpaceMap,
+    budget: CompactionBudget,
+    id_gen: ObjectIdGen,
+    max_object: Option<Size>,
+    live_words: Size,
+    peak_live: Size,
+    /// Lowest word ever occupied (None until the first placement).
+    min_used: Option<Addr>,
+    /// Highest `end()` ever occupied.
+    max_used_end: Addr,
+    round: u32,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates a heap serving a `c`-partial manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c > 1` (see [`CompactionBudget::new`]).
+    pub fn new(c: u64) -> Self {
+        Self::with_budget(CompactionBudget::new(c))
+    }
+
+    /// Creates a heap for a non-moving manager (no compaction ever allowed).
+    pub fn non_moving() -> Self {
+        Self::with_budget(CompactionBudget::non_moving())
+    }
+
+    /// Creates a heap with unlimited compaction (the full-compaction
+    /// baseline the paper contrasts c-partial managers with).
+    pub fn unlimited_compaction() -> Self {
+        Self::with_budget(CompactionBudget::unlimited())
+    }
+
+    /// Creates a heap with an explicit budget ledger.
+    pub fn with_budget(budget: CompactionBudget) -> Self {
+        Heap {
+            objects: HashMap::new(),
+            space: SpaceMap::new(),
+            budget,
+            id_gen: ObjectIdGen::new(),
+            max_object: None,
+            live_words: Size::ZERO,
+            peak_live: Size::ZERO,
+            min_used: None,
+            max_used_end: Addr::ZERO,
+            round: 0,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Restricts object sizes to at most `n` words (the paper's parameter
+    /// `n`); violations are reported as [`HeapError::InvalidSize`].
+    pub fn set_max_object(&mut self, n: Size) {
+        self.max_object = Some(n);
+    }
+
+    /// Returns a fresh object id (allocation sequence number).
+    pub fn fresh_id(&mut self) -> ObjectId {
+        self.id_gen.fresh()
+    }
+
+    /// Advances the round (step) counter; new objects record their round.
+    pub fn set_round(&mut self, round: u32) {
+        self.round = round;
+    }
+
+    /// The current round counter.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Places object `id` of `size` words at `addr`.
+    ///
+    /// This both claims the space and charges the allocation to the
+    /// compaction-budget ledger (allocations *recharge* the allowance).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the extent is not free or the size is invalid.
+    pub fn place(&mut self, id: ObjectId, addr: Addr, size: Size) -> Result<(), HeapError> {
+        if size.is_zero() || self.max_object.is_some_and(|n| size > n) {
+            return Err(HeapError::InvalidSize {
+                size,
+                max: self.max_object,
+            });
+        }
+        let extent = Extent::new(addr, size);
+        self.space.occupy(id, extent)?;
+        self.objects
+            .insert(id, ObjectRecord::new(id, addr, size, self.round));
+        self.budget.on_allocated(size);
+        self.live_words += size;
+        self.peak_live = self.peak_live.max(self.live_words);
+        self.note_used(extent);
+        self.stats.objects_placed += 1;
+        self.stats.words_placed += size.get();
+        Ok(())
+    }
+
+    /// Frees object `id`, releasing its footprint.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not live.
+    pub fn free(&mut self, id: ObjectId) -> Result<(Addr, Size), HeapError> {
+        let rec = self
+            .objects
+            .remove(&id)
+            .ok_or(HeapError::UnknownObject(id))?;
+        self.space
+            .release(rec.addr())
+            .expect("object table and space map agree");
+        self.live_words = self.live_words - rec.size();
+        self.stats.objects_freed += 1;
+        self.stats.words_freed += rec.size().get();
+        Ok((rec.addr(), rec.size()))
+    }
+
+    /// Relocates object `id` to `new_addr`, spending compaction budget equal
+    /// to the object's size. The object may move to a range overlapping its
+    /// old footprint (sliding compaction).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not live, the destination is not free, or the move
+    /// would exceed the c-partial allowance; the heap is unchanged on error.
+    pub fn relocate(&mut self, id: ObjectId, new_addr: Addr) -> Result<Addr, HeapError> {
+        let rec = *self.objects.get(&id).ok_or(HeapError::UnknownObject(id))?;
+        let old_addr = rec.addr();
+        if new_addr == old_addr {
+            // Moving zero distance moves no data: a no-op, free of budget.
+            return Ok(old_addr);
+        }
+        if !self.budget.can_move(rec.size()) {
+            return Err(HeapError::BudgetExceeded {
+                id,
+                size: rec.size(),
+                remaining: self.budget.allowance(),
+            });
+        }
+        // Release-then-occupy so sliding moves that overlap the old
+        // footprint succeed; roll back on failure.
+        self.space
+            .release(old_addr)
+            .expect("object table and space map agree");
+        let new_extent = Extent::new(new_addr, rec.size());
+        match self.space.occupy(id, new_extent) {
+            Ok(()) => {}
+            Err(e) => {
+                self.space
+                    .occupy(id, rec.extent())
+                    .expect("rollback to the original placement cannot collide");
+                return Err(e.into());
+            }
+        }
+        self.budget
+            .on_moved(rec.size())
+            .expect("can_move was checked above");
+        self.objects
+            .get_mut(&id)
+            .expect("object is live")
+            .relocate(new_addr);
+        self.note_used(new_extent);
+        self.stats.objects_moved += 1;
+        self.stats.words_moved += rec.size().get();
+        Ok(old_addr)
+    }
+
+    fn note_used(&mut self, extent: Extent) {
+        self.min_used = Some(match self.min_used {
+            Some(lo) => lo.min(extent.start()),
+            None => extent.start(),
+        });
+        self.max_used_end = self.max_used_end.max(extent.end());
+    }
+
+    /// The record of a live object.
+    pub fn record(&self, id: ObjectId) -> Option<&ObjectRecord> {
+        self.objects.get(&id)
+    }
+
+    /// Whether `id` is live.
+    pub fn is_live(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Iterates over live objects in unspecified order.
+    pub fn live_objects(&self) -> impl Iterator<Item = &ObjectRecord> {
+        self.objects.values()
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total live words.
+    pub fn live_words(&self) -> Size {
+        self.live_words
+    }
+
+    /// Peak of total live words over the execution.
+    pub fn peak_live(&self) -> Size {
+        self.peak_live
+    }
+
+    /// The heap size `HS`: peak span of used address space over the whole
+    /// execution (the paper's Section 4 measure).
+    pub fn heap_size(&self) -> Size {
+        match self.min_used {
+            Some(lo) => self.max_used_end.offset_from(lo),
+            None => Size::ZERO,
+        }
+    }
+
+    /// The compaction-budget ledger.
+    pub fn budget(&self) -> &CompactionBudget {
+        &self.budget
+    }
+
+    /// The ground-truth occupancy map (read-only).
+    pub fn space(&self) -> &SpaceMap {
+        &self.space
+    }
+
+    /// Aggregate operation counts.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Live words divided by current (peak) heap size; 1.0 for an empty
+    /// execution.
+    pub fn utilization(&self) -> f64 {
+        let hs = self.heap_size().get();
+        if hs == 0 {
+            1.0
+        } else {
+            self.live_words.get() as f64 / hs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_free_place_reuses_space() {
+        let mut h = Heap::new(10);
+        let a = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(8)).unwrap();
+        h.free(a).unwrap();
+        let b = h.fresh_id();
+        h.place(b, Addr::new(0), Size::new(8)).unwrap();
+        assert_eq!(h.heap_size(), Size::new(8));
+        assert_eq!(h.live_words(), Size::new(8));
+        assert_eq!(h.stats().objects_placed, 2);
+    }
+
+    #[test]
+    fn heap_size_is_peak_span() {
+        let mut h = Heap::new(10);
+        let a = h.fresh_id();
+        h.place(a, Addr::new(100), Size::new(4)).unwrap();
+        assert_eq!(h.heap_size(), Size::new(4), "span starts at first use");
+        let b = h.fresh_id();
+        h.place(b, Addr::new(0), Size::new(1)).unwrap();
+        assert_eq!(h.heap_size(), Size::new(104));
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.heap_size(), Size::new(104), "HS never shrinks");
+    }
+
+    #[test]
+    fn double_free_and_unknown_ids_fail() {
+        let mut h = Heap::new(10);
+        let a = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(2)).unwrap();
+        h.free(a).unwrap();
+        assert!(matches!(h.free(a), Err(HeapError::UnknownObject(_))));
+        assert!(matches!(
+            h.relocate(a, Addr::new(10)),
+            Err(HeapError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn relocate_respects_budget() {
+        let mut h = Heap::new(2);
+        let a = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(10)).unwrap();
+        // allocated=10, c=2 => allowance 5 < 10
+        let err = h.relocate(a, Addr::new(100)).unwrap_err();
+        assert!(matches!(err, HeapError::BudgetExceeded { remaining, .. }
+            if remaining == Size::new(5)));
+        // A second allocation recharges enough.
+        let b = h.fresh_id();
+        h.place(b, Addr::new(10), Size::new(10)).unwrap();
+        let old = h.relocate(a, Addr::new(100)).unwrap();
+        assert_eq!(old, Addr::new(0));
+        assert_eq!(h.record(a).unwrap().addr(), Addr::new(100));
+        assert_eq!(h.record(a).unwrap().birth_addr(), Addr::new(0));
+    }
+
+    #[test]
+    fn sliding_relocation_over_own_footprint_works() {
+        let mut h = Heap::new(2);
+        let a = h.fresh_id();
+        let b = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(4)).unwrap();
+        h.place(b, Addr::new(4), Size::new(4)).unwrap();
+        h.free(a).unwrap();
+        // allocated = 8, c = 2 => allowance 4, enough to move b (size 4).
+        // Slide b left by 2; new extent [2,6) overlaps old [4,8).
+        h.relocate(b, Addr::new(2)).unwrap();
+        assert_eq!(h.record(b).unwrap().addr(), Addr::new(2));
+        assert!(h.space().is_free(Extent::from_raw(6, 100)));
+        assert!(h.space().is_free(Extent::from_raw(0, 2)));
+    }
+
+    #[test]
+    fn relocate_to_occupied_target_rolls_back() {
+        let mut h = Heap::new(2);
+        let a = h.fresh_id();
+        let b = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(2)).unwrap();
+        h.place(b, Addr::new(10), Size::new(2)).unwrap();
+        // Plenty of budget after two allocations? allocated=4, c=2, allowance=2.
+        let err = h.relocate(a, Addr::new(9)).unwrap_err();
+        assert!(matches!(err, HeapError::Space(_)));
+        // a is still where it was and still live.
+        assert_eq!(h.record(a).unwrap().addr(), Addr::new(0));
+        assert_eq!(h.live_words(), Size::new(4));
+    }
+
+    #[test]
+    fn max_object_enforced() {
+        let mut h = Heap::new(10);
+        h.set_max_object(Size::new(16));
+        let a = h.fresh_id();
+        assert!(matches!(
+            h.place(a, Addr::new(0), Size::new(17)),
+            Err(HeapError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            h.place(a, Addr::new(0), Size::ZERO),
+            Err(HeapError::InvalidSize { .. })
+        ));
+        h.place(a, Addr::new(0), Size::new(16)).unwrap();
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water() {
+        let mut h = Heap::new(10);
+        let a = h.fresh_id();
+        let b = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(6)).unwrap();
+        h.place(b, Addr::new(6), Size::new(6)).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.peak_live(), Size::new(12));
+        assert_eq!(h.live_words(), Size::new(6));
+        assert!((h.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_stamp_births() {
+        let mut h = Heap::new(10);
+        h.set_round(3);
+        let a = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(1)).unwrap();
+        assert_eq!(h.record(a).unwrap().birth_round(), 3);
+    }
+
+    #[test]
+    fn zero_distance_relocate_is_free() {
+        let mut h = Heap::new(2);
+        let a = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(4)).unwrap();
+        h.relocate(a, Addr::new(0)).unwrap();
+        assert_eq!(h.budget().moved_total(), 0);
+        assert_eq!(h.stats().objects_moved, 0);
+    }
+}

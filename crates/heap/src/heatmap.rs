@@ -1,0 +1,142 @@
+//! ASCII rendering of heap occupancy — the fastest way to *see*
+//! fragmentation.
+//!
+//! Each character cell aggregates a fixed number of words and shows how
+//! full it is, so the hole structure the paper's adversary engineers
+//! (one small survivor pinning every chunk) is visible at a glance:
+//!
+//! ```text
+//! |####.#..#..#..#..#..#..#..#..#..________________|
+//! ```
+
+use crate::addr::Extent;
+use crate::heap::Heap;
+
+/// Occupancy glyphs from empty to full.
+const GLYPHS: [char; 5] = ['_', '.', ':', '+', '#'];
+
+/// Renders the heap's current occupancy as one or more text rows.
+///
+/// `width` is the number of character cells per row; the span from
+/// address 0 to the frontier is divided evenly among `width * rows`
+/// cells. Returns an empty string for an empty heap.
+///
+/// ```
+/// use pcb_heap::{heat_map, Addr, Heap, Size};
+/// let mut heap = Heap::non_moving();
+/// let a = heap.fresh_id();
+/// heap.place(a, Addr::new(0), Size::new(32))?;
+/// let b = heap.fresh_id();
+/// heap.place(b, Addr::new(96), Size::new(32))?;
+/// let map = heat_map(&heap, 16);
+/// assert_eq!(map.len(), 16 + 2, "16 cells plus the frame");
+/// assert!(map.starts_with("|####"));
+/// assert!(map.ends_with("####|"));
+/// # Ok::<(), pcb_heap::HeapError>(())
+/// ```
+pub fn heat_map(heap: &Heap, width: usize) -> String {
+    render(heap, width, 1)
+}
+
+/// Multi-row variant of [`heat_map`].
+pub fn heat_map_rows(heap: &Heap, width: usize, rows: usize) -> String {
+    render(heap, width, rows)
+}
+
+fn render(heap: &Heap, width: usize, rows: usize) -> String {
+    assert!(width > 0 && rows > 0, "the canvas must be non-empty");
+    let space = heap.space();
+    let span = space.frontier().get();
+    if span == 0 {
+        return String::new();
+    }
+    let cells = (width * rows) as u64;
+    let mut out = String::with_capacity(rows * (width + 3));
+    for row in 0..rows {
+        out.push('|');
+        for col in 0..width {
+            let cell = (row * width + col) as u64;
+            // Cell covers [lo, hi) in words.
+            let lo = span * cell / cells;
+            let hi = (span * (cell + 1) / cells).max(lo + 1);
+            let window = Extent::from_raw(lo, hi - lo);
+            let used = space.occupied_words_in(window).get();
+            let frac = used as f64 / (hi - lo) as f64;
+            let glyph = match frac {
+                f if f <= 0.0 => GLYPHS[0],
+                f if f < 0.25 => GLYPHS[1],
+                f if f < 0.5 => GLYPHS[2],
+                f if f < 1.0 => GLYPHS[3],
+                _ => GLYPHS[4],
+            };
+            out.push(glyph);
+        }
+        out.push('|');
+        if row + 1 < rows {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, Size};
+
+    fn heap_with(extents: &[(u64, u64)]) -> Heap {
+        let mut heap = Heap::non_moving();
+        for &(start, len) in extents {
+            let id = heap.fresh_id();
+            heap.place(id, Addr::new(start), Size::new(len)).unwrap();
+        }
+        heap
+    }
+
+    #[test]
+    fn empty_heap_renders_empty() {
+        assert_eq!(heat_map(&Heap::non_moving(), 10), "");
+    }
+
+    #[test]
+    fn full_heap_is_all_hashes() {
+        let heap = heap_with(&[(0, 64)]);
+        assert_eq!(heat_map(&heap, 8), "|########|");
+    }
+
+    #[test]
+    fn holes_show_as_underscores() {
+        // [0,16) used, [16,48) free, [48,64) used; 4 cells of 16 words.
+        let heap = heap_with(&[(0, 16), (48, 16)]);
+        assert_eq!(heat_map(&heap, 4), "|#__#|");
+    }
+
+    #[test]
+    fn partial_cells_grade() {
+        // One cell of 64 words, 20 used -> between .25 and .5 -> ':'.
+        let heap = heap_with(&[(0, 20), (63, 1)]);
+        assert_eq!(heat_map(&heap, 1), "|:|");
+    }
+
+    #[test]
+    fn rows_stack() {
+        // Frontier 64 split into 2 rows x 4 cells of 8 words.
+        let heap = heap_with(&[(0, 16), (56, 8)]);
+        let two = heat_map_rows(&heap, 4, 2);
+        assert_eq!(two, "|##__|\n|___#|");
+    }
+
+    #[test]
+    fn cells_never_divide_by_zero_when_span_is_tiny() {
+        let heap = heap_with(&[(0, 1)]);
+        let map = heat_map(&heap, 40);
+        assert_eq!(map.len(), 42);
+        assert!(map.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas must be non-empty")]
+    fn zero_width_panics() {
+        let _ = heat_map(&heap_with(&[(0, 4)]), 0);
+    }
+}

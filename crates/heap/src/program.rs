@@ -1,0 +1,235 @@
+//! The program side of the paper's interaction model (Section 2.1).
+//!
+//! An execution is a series of rounds; in each round the program first
+//! declares frees, the manager may compact, and the program then requests
+//! allocations. Programs in class `P(M, n)` never hold more than `M` live
+//! words and request sizes in `[1, n]`; class `P2(M, n)` additionally uses
+//! only power-of-two sizes.
+
+use crate::addr::{Addr, Size};
+use crate::object::ObjectId;
+
+/// A program's reaction to the manager moving one of its objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MoveResponse {
+    /// Keep the object at its new location (ordinary programs).
+    #[default]
+    Keep,
+    /// Free the object immediately (the `P_F` reaction that creates ghost
+    /// objects, Definition 4.1 of the paper).
+    FreeImmediately,
+}
+
+/// The program (mutator) driving an execution.
+///
+/// The engine calls, per round: [`frees`](Program::frees), then for each
+/// size from [`allocs`](Program::allocs) an allocation (reporting the
+/// placement through [`placed`](Program::placed)), then
+/// [`round_done`](Program::round_done). [`moved`](Program::moved) may be
+/// called at any point while the manager compacts. The execution ends when
+/// [`finished`](Program::finished) returns true at a round boundary.
+pub trait Program {
+    /// Short human-readable name (for reports).
+    fn name(&self) -> &str;
+
+    /// The live-space bound `M` this program promises to respect; the
+    /// engine enforces it after every allocation.
+    fn live_bound(&self) -> Size;
+
+    /// Object ids to free at the start of the current round.
+    fn frees(&mut self) -> Vec<ObjectId>;
+
+    /// Sizes to allocate in the current round, in request order.
+    fn allocs(&mut self) -> Vec<Size>;
+
+    /// Reports the placement chosen by the manager for an allocation this
+    /// program requested.
+    fn placed(&mut self, id: ObjectId, addr: Addr, size: Size);
+
+    /// Reports a manager-initiated move of a live object. The returned
+    /// [`MoveResponse`] is acted on immediately by the engine.
+    fn moved(&mut self, id: ObjectId, from: Addr, to: Addr, size: Size) -> MoveResponse {
+        let _ = (id, from, to, size);
+        MoveResponse::Keep
+    }
+
+    /// Called at the end of each round.
+    fn round_done(&mut self) {}
+
+    /// Whether the program has no further rounds.
+    fn finished(&self) -> bool;
+}
+
+/// Boxed-program forwarding so `Box<dyn Program>` is itself a program
+/// (letting harnesses pick programs at runtime).
+impl Program for Box<dyn Program> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn live_bound(&self) -> Size {
+        (**self).live_bound()
+    }
+
+    fn frees(&mut self) -> Vec<ObjectId> {
+        (**self).frees()
+    }
+
+    fn allocs(&mut self) -> Vec<Size> {
+        (**self).allocs()
+    }
+
+    fn placed(&mut self, id: ObjectId, addr: Addr, size: Size) {
+        (**self).placed(id, addr, size)
+    }
+
+    fn moved(&mut self, id: ObjectId, from: Addr, to: Addr, size: Size) -> MoveResponse {
+        (**self).moved(id, from, to, size)
+    }
+
+    fn round_done(&mut self) {
+        (**self).round_done()
+    }
+
+    fn finished(&self) -> bool {
+        (**self).finished()
+    }
+}
+
+/// A scripted program useful for tests and demos: a fixed list of rounds,
+/// each a list of frees (by request index) and allocation sizes.
+///
+/// Request indices refer to the order of allocations across the entire
+/// script (0-based), letting scripts free objects allocated in earlier
+/// rounds without knowing `ObjectId`s in advance.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedProgram {
+    rounds: Vec<ScriptRound>,
+    cursor: usize,
+    live_bound: Size,
+    /// Allocation order -> ObjectId, filled as placements arrive.
+    allocated: Vec<ObjectId>,
+    live: Size,
+}
+
+/// One round of a [`ScriptedProgram`].
+#[derive(Debug, Clone, Default)]
+pub struct ScriptRound {
+    /// Indices (into the global allocation order) to free.
+    pub free_indices: Vec<usize>,
+    /// Sizes to allocate.
+    pub alloc_sizes: Vec<Size>,
+}
+
+impl ScriptedProgram {
+    /// Creates a scripted program with the given live bound.
+    pub fn new(live_bound: Size) -> Self {
+        ScriptedProgram {
+            live_bound,
+            ..Default::default()
+        }
+    }
+
+    /// Appends a round. Returns `self` for chaining.
+    pub fn round(
+        mut self,
+        free_indices: impl IntoIterator<Item = usize>,
+        alloc_sizes: impl IntoIterator<Item = u64>,
+    ) -> Self {
+        self.rounds.push(ScriptRound {
+            free_indices: free_indices.into_iter().collect(),
+            alloc_sizes: alloc_sizes.into_iter().map(Size::new).collect(),
+        });
+        self
+    }
+
+    /// The object id assigned to the `idx`-th allocation, if it happened.
+    pub fn object(&self, idx: usize) -> Option<ObjectId> {
+        self.allocated.get(idx).copied()
+    }
+
+    /// Total words currently live according to the script's own accounting.
+    pub fn live(&self) -> Size {
+        self.live
+    }
+}
+
+impl Program for ScriptedProgram {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn live_bound(&self) -> Size {
+        self.live_bound
+    }
+
+    fn frees(&mut self) -> Vec<ObjectId> {
+        let Some(round) = self.rounds.get(self.cursor) else {
+            return Vec::new();
+        };
+        round
+            .free_indices
+            .iter()
+            .filter_map(|&i| self.allocated.get(i).copied())
+            .collect()
+    }
+
+    fn allocs(&mut self) -> Vec<Size> {
+        self.rounds
+            .get(self.cursor)
+            .map(|r| r.alloc_sizes.clone())
+            .unwrap_or_default()
+    }
+
+    fn placed(&mut self, id: ObjectId, _addr: Addr, size: Size) {
+        self.allocated.push(id);
+        self.live += size;
+    }
+
+    fn round_done(&mut self) {
+        self.cursor += 1;
+    }
+
+    fn finished(&self) -> bool {
+        self.cursor >= self.rounds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_program_walks_rounds() {
+        let mut p = ScriptedProgram::new(Size::new(100))
+            .round([], [4, 4])
+            .round([0], [8]);
+        assert!(!p.finished());
+        assert!(p.frees().is_empty());
+        assert_eq!(p.allocs(), vec![Size::new(4), Size::new(4)]);
+        p.placed(ObjectId::from_raw(0), Addr::new(0), Size::new(4));
+        p.placed(ObjectId::from_raw(1), Addr::new(4), Size::new(4));
+        p.round_done();
+        assert_eq!(p.frees(), vec![ObjectId::from_raw(0)]);
+        assert_eq!(p.allocs(), vec![Size::new(8)]);
+        p.placed(ObjectId::from_raw(2), Addr::new(8), Size::new(8));
+        p.round_done();
+        assert!(p.finished());
+        assert_eq!(p.object(2), Some(ObjectId::from_raw(2)));
+        assert_eq!(p.live(), Size::new(16));
+    }
+
+    #[test]
+    fn default_move_response_keeps() {
+        let mut p = ScriptedProgram::new(Size::new(10));
+        assert_eq!(
+            p.moved(
+                ObjectId::from_raw(0),
+                Addr::new(0),
+                Addr::new(8),
+                Size::new(2)
+            ),
+            MoveResponse::Keep
+        );
+    }
+}

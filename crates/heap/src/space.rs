@@ -1,0 +1,299 @@
+//! Ground-truth occupancy map of the simulated address space.
+//!
+//! [`SpaceMap`] records which word intervals are occupied by which object.
+//! It is the referee of the simulation: managers propose placements and
+//! moves, and the map rejects anything that would double-book a word. It is
+//! deliberately independent of any manager-side free-list so that a buggy
+//! manager cannot corrupt the ground truth it is judged against.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{Addr, Extent, Size};
+use crate::error::SpaceError;
+use crate::object::ObjectId;
+
+/// Occupancy interval map keyed by interval start address.
+///
+/// Invariant: stored intervals are non-empty and pairwise disjoint.
+///
+/// ```
+/// use pcb_heap::{Addr, Extent, ObjectId, Size, SpaceMap};
+/// let mut map = SpaceMap::new();
+/// let id = ObjectId::from_raw(0);
+/// map.occupy(id, Extent::from_raw(0, 4))?;
+/// assert!(map.is_free(Extent::from_raw(4, 4)));
+/// assert!(!map.is_free(Extent::from_raw(3, 2)));
+/// assert_eq!(map.object_at(Addr::new(2)), Some(id));
+/// # Ok::<(), pcb_heap::SpaceError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SpaceMap {
+    /// start -> (extent, owner)
+    intervals: BTreeMap<u64, (Extent, ObjectId)>,
+    occupied_words: Size,
+}
+
+impl SpaceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether no interval is stored.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total number of occupied words.
+    pub fn occupied_words(&self) -> Size {
+        self.occupied_words
+    }
+
+    /// Whether every word of `extent` is free.
+    pub fn is_free(&self, extent: Extent) -> bool {
+        if extent.size().is_zero() {
+            return true;
+        }
+        self.first_overlap(extent).is_none()
+    }
+
+    /// The first stored interval overlapping `extent`, if any.
+    pub fn first_overlap(&self, extent: Extent) -> Option<(Extent, ObjectId)> {
+        // A stored interval [s, e) overlaps [x, y) iff s < y and e > x.
+        // Candidates: the interval starting at or before `x` (it may stretch
+        // over x), plus intervals starting inside [x, y).
+        if let Some((_, &(prev, id))) = self.intervals.range(..=extent.start().get()).next_back() {
+            if prev.overlaps(extent) {
+                return Some((prev, id));
+            }
+        }
+        self.intervals
+            .range(extent.start().get()..extent.end().get())
+            .next()
+            .map(|(_, &(e, id))| (e, id))
+            .filter(|(e, _)| e.overlaps(extent))
+    }
+
+    /// All stored intervals overlapping `extent`, in address order.
+    pub fn overlapping(&self, extent: Extent) -> Vec<(Extent, ObjectId)> {
+        let mut out = Vec::new();
+        if let Some((_, &(prev, id))) = self.intervals.range(..=extent.start().get()).next_back() {
+            if prev.overlaps(extent) {
+                out.push((prev, id));
+            }
+        }
+        for (_, &(e, id)) in self
+            .intervals
+            .range(extent.start().get()..extent.end().get())
+        {
+            if e.overlaps(extent) && out.last().map(|&(p, _)| p) != Some(e) {
+                out.push((e, id));
+            }
+        }
+        out
+    }
+
+    /// Marks `extent` as occupied by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::Overlap`] if any word of `extent` is already
+    /// occupied, and [`SpaceError::EmptyExtent`] for zero-sized extents.
+    pub fn occupy(&mut self, owner: ObjectId, extent: Extent) -> Result<(), SpaceError> {
+        if extent.size().is_zero() {
+            return Err(SpaceError::EmptyExtent { owner });
+        }
+        if let Some((existing, holder)) = self.first_overlap(extent) {
+            return Err(SpaceError::Overlap {
+                attempted: extent,
+                existing,
+                holder,
+            });
+        }
+        self.intervals.insert(extent.start().get(), (extent, owner));
+        self.occupied_words += extent.size();
+        Ok(())
+    }
+
+    /// Releases the interval starting exactly at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NotOccupied`] if no interval starts at `start`.
+    pub fn release(&mut self, start: Addr) -> Result<(Extent, ObjectId), SpaceError> {
+        match self.intervals.remove(&start.get()) {
+            Some((extent, owner)) => {
+                self.occupied_words = self.occupied_words - extent.size();
+                Ok((extent, owner))
+            }
+            None => Err(SpaceError::NotOccupied { addr: start }),
+        }
+    }
+
+    /// The object whose interval contains `addr`, if any.
+    pub fn object_at(&self, addr: Addr) -> Option<ObjectId> {
+        self.intervals
+            .range(..=addr.get())
+            .next_back()
+            .and_then(|(_, &(e, id))| e.contains(addr).then_some(id))
+    }
+
+    /// One past the highest occupied word (0 when empty).
+    pub fn frontier(&self) -> Addr {
+        self.intervals
+            .iter()
+            .next_back()
+            .map(|(_, &(e, _))| e.end())
+            .unwrap_or(Addr::ZERO)
+    }
+
+    /// The lowest occupied word, if any interval is stored.
+    pub fn lowest(&self) -> Option<Addr> {
+        self.intervals.iter().next().map(|(_, &(e, _))| e.start())
+    }
+
+    /// Iterates over stored intervals in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Extent, ObjectId)> + '_ {
+        self.intervals.values().copied()
+    }
+
+    /// Iterates over the free gaps strictly between occupied intervals (it
+    /// does not report the unbounded free space above the frontier).
+    pub fn gaps(&self) -> impl Iterator<Item = Extent> + '_ {
+        let ends = self.intervals.values().map(|&(e, _)| e.end());
+        let starts = self.intervals.values().skip(1).map(|&(e, _)| e.start());
+        ends.zip(starts)
+            .filter(|&(end, next_start)| end < next_start)
+            .map(|(end, next_start)| Extent::new(end, next_start.offset_from(end)))
+    }
+
+    /// Number of occupied words inside `window` (used for chunk-density
+    /// queries by the analysis).
+    pub fn occupied_words_in(&self, window: Extent) -> Size {
+        self.overlapping(window)
+            .into_iter()
+            .map(|(e, _)| e.overlap_words(window))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    #[test]
+    fn occupy_then_release_round_trips() {
+        let mut m = SpaceMap::new();
+        m.occupy(id(1), Extent::from_raw(10, 5)).unwrap();
+        assert_eq!(m.occupied_words(), Size::new(5));
+        let (e, o) = m.release(Addr::new(10)).unwrap();
+        assert_eq!(e, Extent::from_raw(10, 5));
+        assert_eq!(o, id(1));
+        assert!(m.is_empty());
+        assert_eq!(m.occupied_words(), Size::ZERO);
+    }
+
+    #[test]
+    fn overlap_is_rejected_in_all_positions() {
+        let mut m = SpaceMap::new();
+        m.occupy(id(1), Extent::from_raw(10, 10)).unwrap();
+        // left overlap, right overlap, containing, contained, exact
+        for ext in [
+            Extent::from_raw(5, 6),
+            Extent::from_raw(19, 5),
+            Extent::from_raw(5, 30),
+            Extent::from_raw(12, 3),
+            Extent::from_raw(10, 10),
+        ] {
+            assert!(m.occupy(id(2), ext).is_err(), "expected overlap for {ext}");
+        }
+        // touching neighbours are fine
+        m.occupy(id(3), Extent::from_raw(0, 10)).unwrap();
+        m.occupy(id(4), Extent::from_raw(20, 10)).unwrap();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn empty_extent_is_rejected() {
+        let mut m = SpaceMap::new();
+        assert!(matches!(
+            m.occupy(id(1), Extent::from_raw(0, 0)),
+            Err(SpaceError::EmptyExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn release_of_unknown_start_fails() {
+        let mut m = SpaceMap::new();
+        m.occupy(id(1), Extent::from_raw(10, 5)).unwrap();
+        // Address 12 is occupied but is not an interval start.
+        assert!(m.release(Addr::new(12)).is_err());
+        assert!(m.release(Addr::new(0)).is_err());
+    }
+
+    #[test]
+    fn object_at_finds_owner() {
+        let mut m = SpaceMap::new();
+        m.occupy(id(1), Extent::from_raw(10, 5)).unwrap();
+        m.occupy(id(2), Extent::from_raw(20, 1)).unwrap();
+        assert_eq!(m.object_at(Addr::new(10)), Some(id(1)));
+        assert_eq!(m.object_at(Addr::new(14)), Some(id(1)));
+        assert_eq!(m.object_at(Addr::new(15)), None);
+        assert_eq!(m.object_at(Addr::new(20)), Some(id(2)));
+        assert_eq!(m.object_at(Addr::new(21)), None);
+    }
+
+    #[test]
+    fn frontier_and_lowest_track_extremes() {
+        let mut m = SpaceMap::new();
+        assert_eq!(m.frontier(), Addr::ZERO);
+        assert_eq!(m.lowest(), None);
+        m.occupy(id(1), Extent::from_raw(100, 10)).unwrap();
+        m.occupy(id(2), Extent::from_raw(5, 2)).unwrap();
+        assert_eq!(m.frontier(), Addr::new(110));
+        assert_eq!(m.lowest(), Some(Addr::new(5)));
+    }
+
+    #[test]
+    fn gaps_reports_interior_holes_only() {
+        let mut m = SpaceMap::new();
+        m.occupy(id(1), Extent::from_raw(0, 4)).unwrap();
+        m.occupy(id(2), Extent::from_raw(8, 2)).unwrap();
+        m.occupy(id(3), Extent::from_raw(10, 6)).unwrap();
+        let gaps: Vec<_> = m.gaps().collect();
+        assert_eq!(gaps, vec![Extent::from_raw(4, 4)]);
+    }
+
+    #[test]
+    fn occupied_words_in_window() {
+        let mut m = SpaceMap::new();
+        m.occupy(id(1), Extent::from_raw(0, 4)).unwrap();
+        m.occupy(id(2), Extent::from_raw(6, 4)).unwrap();
+        // window [2, 8) sees words 2,3 of o1 and 6,7 of o2
+        assert_eq!(m.occupied_words_in(Extent::from_raw(2, 6)), Size::new(4));
+        assert_eq!(m.occupied_words_in(Extent::from_raw(4, 2)), Size::ZERO);
+        assert_eq!(m.occupied_words_in(Extent::from_raw(0, 10)), Size::new(8));
+    }
+
+    #[test]
+    fn overlapping_lists_in_address_order() {
+        let mut m = SpaceMap::new();
+        m.occupy(id(1), Extent::from_raw(0, 4)).unwrap();
+        m.occupy(id(2), Extent::from_raw(6, 4)).unwrap();
+        m.occupy(id(3), Extent::from_raw(12, 4)).unwrap();
+        let hits = m.overlapping(Extent::from_raw(2, 12));
+        assert_eq!(
+            hits.iter().map(|&(_, o)| o).collect::<Vec<_>>(),
+            vec![id(1), id(2), id(3)]
+        );
+    }
+}

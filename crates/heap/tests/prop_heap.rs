@@ -1,0 +1,134 @@
+//! Property-based tests for the heap substrate: the ground truth never
+//! double-books a word, the budget ledger never goes negative, and heap
+//! accounting stays consistent under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use pcb_heap::{Addr, CompactionBudget, Extent, Heap, ObjectId, Size, SpaceMap};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Occupy { start: u64, len: u64 },
+    Release { pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..400, 1u64..24).prop_map(|(start, len)| Op::Occupy { start, len }),
+        (0usize..64).prop_map(|pick| Op::Release { pick }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn space_map_never_double_books(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut map = SpaceMap::new();
+        let mut stored: Vec<(u64, u64)> = Vec::new(); // (start, len)
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Occupy { start, len } => {
+                    let ext = Extent::from_raw(start, len);
+                    let id = ObjectId::from_raw(next_id);
+                    next_id += 1;
+                    let brute_free = stored
+                        .iter()
+                        .all(|&(s, l)| start + len <= s || s + l <= start);
+                    let result = map.occupy(id, ext);
+                    prop_assert_eq!(result.is_ok(), brute_free,
+                        "occupy [{}, {}) vs {:?}", start, start + len, stored);
+                    if brute_free {
+                        stored.push((start, len));
+                    }
+                }
+                Op::Release { pick } => {
+                    if stored.is_empty() { continue; }
+                    let (start, len) = stored.remove(pick % stored.len());
+                    let (ext, _) = map.release(Addr::new(start)).unwrap();
+                    prop_assert_eq!(ext.size().get(), len);
+                }
+            }
+            // Aggregate word count always matches.
+            let total: u64 = stored.iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(map.occupied_words().get(), total);
+        }
+    }
+
+    #[test]
+    fn budget_ledger_is_exact(
+        c in 2u64..64,
+        events in proptest::collection::vec((any::<bool>(), 1u64..1000), 1..200),
+    ) {
+        let mut b = CompactionBudget::new(c);
+        let (mut allocated, mut moved) = (0u128, 0u128);
+        for (is_alloc, words) in events {
+            if is_alloc {
+                b.on_allocated(Size::new(words));
+                allocated += words as u128;
+            } else {
+                match b.on_moved(Size::new(words)) {
+                    Ok(()) => {
+                        moved += words as u128;
+                        prop_assert!(moved * c as u128 <= allocated,
+                            "ledger accepted an illegal move");
+                    }
+                    Err(remaining) => {
+                        // The rejected move really was illegal.
+                        prop_assert!((moved + words as u128) * c as u128 > allocated);
+                        prop_assert_eq!(remaining.get() as u128,
+                            allocated / c as u128 - moved);
+                    }
+                }
+            }
+            prop_assert_eq!(b.allocated_total(), allocated);
+            prop_assert_eq!(b.moved_total(), moved);
+        }
+    }
+
+    #[test]
+    fn heap_accounting_is_consistent(
+        ops in proptest::collection::vec((0u64..200, 1u64..16, any::<bool>()), 1..100),
+    ) {
+        let mut heap = Heap::new(4);
+        let mut live: Vec<ObjectId> = Vec::new();
+        let mut live_words = 0u64;
+        for (start, len, free_one) in ops {
+            let id = heap.fresh_id();
+            if heap.place(id, Addr::new(start), Size::new(len)).is_ok() {
+                live.push(id);
+                live_words += len;
+            }
+            if free_one && !live.is_empty() {
+                let victim = live.remove((start as usize) % live.len());
+                let (_, size) = heap.free(victim).unwrap();
+                live_words -= size.get();
+            }
+            prop_assert_eq!(heap.live_words().get(), live_words);
+            prop_assert_eq!(heap.live_count(), live.len());
+            prop_assert!(heap.peak_live().get() >= live_words);
+            prop_assert!(heap.heap_size().get() >= heap.space().frontier().get()
+                .saturating_sub(heap.space().lowest().map(Addr::get).unwrap_or(0)));
+        }
+    }
+
+    #[test]
+    fn relocation_preserves_live_words(
+        moves in proptest::collection::vec((0u64..50, 100u64..200), 1..30),
+    ) {
+        let mut heap = Heap::new(2);
+        let mut ids = Vec::new();
+        for i in 0..8u64 {
+            let id = heap.fresh_id();
+            heap.place(id, Addr::new(i * 8), Size::new(4)).unwrap();
+            ids.push(id);
+        }
+        let live_before = heap.live_words();
+        for (pick, dest) in moves {
+            let id = ids[(pick as usize) % ids.len()];
+            let _ = heap.relocate(id, Addr::new(dest));
+            prop_assert_eq!(heap.live_words(), live_before);
+        }
+        // Budget invariant: moved ≤ allocated / c.
+        prop_assert!(heap.budget().moved_total() * 2 <= heap.budget().allocated_total());
+    }
+}

@@ -1,0 +1,167 @@
+//! Object-size distributions for synthetic mutators.
+//!
+//! The paper's bounds are worst-case over all programs in `P(M, n)`; real
+//! programs draw sizes from much tamer distributions. These generators
+//! cover the shapes memory-management studies usually exercise: fixed,
+//! uniform, geometric (small objects dominate — the typical managed-heap
+//! profile), power-of-two, and bimodal (small cells plus occasional large
+//! buffers).
+
+use rand::Rng;
+
+use pcb_heap::Size;
+
+/// A distribution over object sizes in `[1, n]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Every object has the same size (the paper's observation: with one
+    /// size, a heap of `M` always suffices).
+    Fixed(u64),
+    /// Uniform over `[1, n]`.
+    Uniform,
+    /// Geometric: size `s` with probability ∝ `(1−p)^(s−1)`, truncated at
+    /// `n`; `p` is the success probability (larger = smaller objects).
+    Geometric(f64),
+    /// Uniform over the powers of two `1, 2, 4, …, n` (the `P2` class).
+    PowersOfTwo,
+    /// Mostly `small`, with probability `p_large` of `large` (cells +
+    /// buffers).
+    Bimodal {
+        /// The common size.
+        small: u64,
+        /// The rare size.
+        large: u64,
+        /// Probability of drawing `large`.
+        p_large: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draws a size in `[1, n]` (`n = 2^log_n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution's parameters exceed `n` or are
+    /// degenerate (e.g. `Fixed(0)`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, log_n: u32) -> Size {
+        let n = 1u64 << log_n;
+        let raw = match *self {
+            SizeDist::Fixed(s) => {
+                assert!(s >= 1 && s <= n, "fixed size {s} out of [1, {n}]");
+                s
+            }
+            SizeDist::Uniform => rng.gen_range(1..=n),
+            SizeDist::Geometric(p) => {
+                assert!(p > 0.0 && p < 1.0, "geometric p out of (0,1)");
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let s = (u.ln() / (1.0 - p).ln()).floor() as u64 + 1;
+                s.min(n)
+            }
+            SizeDist::PowersOfTwo => 1 << rng.gen_range(0..=log_n),
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => {
+                assert!(small >= 1 && large <= n && small <= large);
+                assert!((0.0..=1.0).contains(&p_large));
+                if rng.gen_bool(p_large) {
+                    large
+                } else {
+                    small
+                }
+            }
+        };
+        Size::new(raw)
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SizeDist::Fixed(_) => "fixed",
+            SizeDist::Uniform => "uniform",
+            SizeDist::Geometric(_) => "geometric",
+            SizeDist::PowersOfTwo => "pow2",
+            SizeDist::Bimodal { .. } => "bimodal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut r = rng();
+        for dist in [
+            SizeDist::Fixed(7),
+            SizeDist::Uniform,
+            SizeDist::Geometric(0.3),
+            SizeDist::PowersOfTwo,
+            SizeDist::Bimodal {
+                small: 2,
+                large: 256,
+                p_large: 0.05,
+            },
+        ] {
+            for _ in 0..2000 {
+                let s = dist.sample(&mut r, 10);
+                assert!(s.get() >= 1 && s.get() <= 1024, "{dist:?}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(SizeDist::Fixed(5).sample(&mut r, 8), Size::new(5));
+        }
+    }
+
+    #[test]
+    fn pow2_only_produces_powers() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(SizeDist::PowersOfTwo.sample(&mut r, 10).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn geometric_skews_small() {
+        let mut r = rng();
+        let mean: f64 = (0..5000)
+            .map(|_| SizeDist::Geometric(0.5).sample(&mut r, 10).get() as f64)
+            .sum::<f64>()
+            / 5000.0;
+        assert!(mean < 3.0, "geometric(0.5) mean should be ~2, got {mean}");
+    }
+
+    #[test]
+    fn bimodal_frequencies_are_plausible() {
+        let mut r = rng();
+        let dist = SizeDist::Bimodal {
+            small: 1,
+            large: 512,
+            p_large: 0.1,
+        };
+        let larges = (0..5000)
+            .filter(|_| dist.sample(&mut r, 10) == Size::new(512))
+            .count();
+        assert!((300..700).contains(&larges), "got {larges} larges");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [1,")]
+    fn oversized_fixed_panics() {
+        let mut r = rng();
+        let _ = SizeDist::Fixed(4096).sample(&mut r, 10);
+    }
+}

@@ -1,0 +1,42 @@
+//! Realistic (non-adversarial) mutator workloads for the
+//! partial-compaction simulator.
+//!
+//! The bounds of Cohen & Petrank (PLDI 2013) are *worst-case*: "the lower
+//! bounds we provide are for a worst-case scenario and they do not rule
+//! out achieving a better behavior on a suite of benchmarks." This crate
+//! supplies the benchmark side of that sentence:
+//!
+//! * [`ChurnWorkload`] — steady-state allocation/free churn with
+//!   configurable size distributions ([`SizeDist`]) and lifetime models
+//!   ([`Lifetime`]);
+//! * [`RampWorkload`] — phased grow/release behaviour, optionally with
+//!   escalating size scales that drift toward the adversarial regime.
+//!
+//! Experiment E9 (`cargo run -p pcb-bench --bin gap`) uses these to
+//! measure how far typical behaviour sits below the worst-case `h`.
+//!
+//! ```
+//! use pcb_workload::{ChurnConfig, ChurnWorkload};
+//! use pcb_alloc::ManagerKind;
+//! use pcb_heap::{Execution, Heap};
+//!
+//! let cfg = ChurnConfig::typical(1 << 12, 6);
+//! let manager = ManagerKind::FirstFit.build(10, cfg.m, cfg.log_n);
+//! let mut exec = Execution::new(Heap::non_moving(), ChurnWorkload::new(cfg), manager);
+//! let report = exec.run()?;
+//! assert!(report.waste_factor < 2.0, "typical churn is mild");
+//! # Ok::<(), pcb_heap::ExecutionError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod churn;
+mod dist;
+mod ramp;
+mod replay;
+
+pub use churn::{ChurnConfig, ChurnWorkload, Lifetime};
+pub use dist::SizeDist;
+pub use ramp::{RampConfig, RampWorkload};
+pub use replay::TraceWorkload;

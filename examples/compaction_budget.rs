@@ -1,0 +1,43 @@
+//! How much does a little compaction buy? Sweep the compaction bound `c`
+//! and watch both the theory (Theorem 1) and the simulator agree that
+//! more compaction budget means provably less waste — with diminishing
+//! returns.
+//!
+//! ```text
+//! cargo run --release --example compaction_budget
+//! ```
+
+use partial_compaction::{bounds, sim, ManagerKind, Params};
+
+fn main() {
+    let (m, log_n) = (1u64 << 16, 10u32);
+    println!("Sweep of the compaction bound c at M = 2^16, n = 2^10 (words)");
+    println!();
+    println!(
+        "{:>6} {:>12} {:>6} {:>14} {:>14}",
+        "c", "theory h", "rho", "measured(ff)", "measured(thm2)"
+    );
+    for c in [5u64, 10, 15, 20, 30, 50, 75, 100] {
+        let params = Params::new(m, log_n, c).expect("valid");
+        let h = bounds::thm1::factor(params);
+        let rho = bounds::thm1::optimal(params).map(|(r, _)| r).unwrap_or(0);
+        let ff = sim::run(params, sim::Adversary::PF, ManagerKind::FirstFit, false)
+            .expect("runs")
+            .execution
+            .waste_factor;
+        let pages = sim::run(params, sim::Adversary::PF, ManagerKind::PagesThm2, false)
+            .expect("runs")
+            .execution
+            .waste_factor;
+        println!("{c:>6} {h:>12.3} {rho:>6} {ff:>14.3} {pages:>14.3}");
+    }
+    println!();
+    println!("Reading the table: the theory column is the asymptotic floor no");
+    println!("manager can beat; P_F pushes both real managers onto or above it");
+    println!("(at this laptop scale, integer floor effects in the adversary can");
+    println!("leave a clever manager a few percent under the analytic h — the");
+    println!("gap closes as M grows; see EXPERIMENTS.md). Moving from c=100");
+    println!("(1% moved) to c=10 (10% moved) roughly halves the unavoidable");
+    println!("waste — which is why commercial runtimes settle for partial");
+    println!("compaction at all.");
+}

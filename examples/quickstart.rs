@@ -1,0 +1,90 @@
+//! Quickstart: evaluate the paper's bounds for your own parameters.
+//!
+//! ```text
+//! cargo run --example quickstart [-- <M_words> <log2_n> <c>]
+//! ```
+//!
+//! With no arguments it uses the paper's running example (M = 256 MB,
+//! n = 1 MB, both in words) and reproduces the headline numbers of
+//! Section 1: a manager allowed to move 10% of allocations needs a 2×
+//! heap in the worst case; at 1% it needs 3.5×.
+
+use partial_compaction::{bounds, Params};
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric arguments"))
+        .collect();
+    let (m, log_n, c) = match args.as_slice() {
+        [] => (1u64 << 28, 20u32, 50u64),
+        [m, log_n, c] => (*m, *log_n as u32, *c),
+        _ => {
+            eprintln!("usage: quickstart [<M_words> <log2_n> <c>]");
+            std::process::exit(2);
+        }
+    };
+
+    let params = match Params::new(m, log_n, c) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("Parameters: {params}");
+    println!("  live space bound M     = {} words", params.m());
+    println!("  largest object n       = {} words", params.n());
+    println!(
+        "  compaction bound c     = {} (manager may move 1/{} of allocations)",
+        params.c(),
+        params.c()
+    );
+    println!();
+
+    // This paper, Theorem 1: the lower bound.
+    match bounds::thm1::optimal(params) {
+        Some((rho, h)) => {
+            println!("Theorem 1 (lower bound, this paper):");
+            println!("  waste factor h         = {h:.3}  (density exponent rho = {rho})");
+            println!(
+                "  ANY {}-partial manager can be forced to use {:.1} MB of heap",
+                params.c(),
+                h * params.m() as f64 / (1 << 20) as f64
+            );
+        }
+        None => println!("Theorem 1 infeasible at these parameters (n or c too small)"),
+    }
+    println!();
+
+    // This paper, Theorem 2: the upper bound.
+    println!("Theorem 2 (upper bound, this paper):");
+    match bounds::thm2::factor(params) {
+        Some(f) => println!(
+            "  a {}-partial manager exists that never exceeds {f:.3} x M",
+            params.c()
+        ),
+        None => println!(
+            "  does not apply (needs c > log2(n)/2 = {})",
+            log_n as f64 / 2.0
+        ),
+    }
+    println!();
+
+    // Baselines.
+    println!("Baselines (Section 2.2):");
+    println!(
+        "  Robson, no compaction  = {:.3} x M (exact, power-of-two programs)",
+        bounds::robson::factor_p2(params)
+    );
+    println!(
+        "  Robson doubled         = {:.3} x M (arbitrary sizes)",
+        bounds::robson::factor_arbitrary(params)
+    );
+    println!(
+        "  Bendersky-Petrank '11  = {:.3} x M upper; lower bound {:.3} x M",
+        bounds::bp11::upper_factor(params),
+        bounds::bp11::lower_factor(params)
+    );
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the repository's examples and integration tests.
+//!
+//! The actual library surface lives in [`partial_compaction`]; this crate
+//! merely re-exports it so examples and tests have a single dependency.
+
+pub use partial_compaction::*;

@@ -1,0 +1,399 @@
+//! `pcb` — the command-line front end to the partial-compaction
+//! reproduction.
+//!
+//! ```text
+//! pcb bounds <M_words> <log2_n> <c>         evaluate every bound
+//! pcb figure <1|2|3>                        print a figure's CSV series
+//! pcb simulate [options]                    run an adversary or workload
+//! pcb record <file.json> [options]          record a run as a trace
+//! pcb replay <file.json>                    re-validate a recorded trace
+//! ```
+//!
+//! `simulate`/`record` options:
+//!
+//! ```text
+//! --program pf|pf-baseline|robson|churn|ramp   (default pf)
+//! --manager <name>                             (default first-fit)
+//! --m <words>  --log-n <k>  --c <c>            (default 65536, 10, 20)
+//! --map                                        print a heap heat map
+//! --validate                                   run the Claim 4.16 checks
+//! ```
+
+use std::process::ExitCode;
+
+use partial_compaction::heap::{heat_map_rows, Execution, Heap, Program, TraceRecorder};
+use partial_compaction::workload::{ChurnConfig, ChurnWorkload, RampConfig, RampWorkload};
+use partial_compaction::{bounds, figures, ManagerKind, Params, PfConfig, PfProgram};
+use partial_compaction::{PfVariant, RobsonProgram};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("figure") => cmd_figure(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..], None),
+        Some("record") => {
+            if args.len() < 2 {
+                Err("record needs a target file".into())
+            } else {
+                cmd_simulate(&args[2..], Some(args[1].clone()))
+            }
+        }
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("worst-case") => cmd_worst_case(&args[1..]),
+        Some("reproduce") => {
+            let checks = partial_compaction::reproduce::all_checks();
+            print!("{}", partial_compaction::reproduce::render_table(&checks));
+            if checks.iter().all(|c| c.pass) {
+                Ok(())
+            } else {
+                Err("some reproduction checks failed".into())
+            }
+        }
+        _ => {
+            eprint!("{}", USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  pcb bounds <M_words> <log2_n> <c>
+  pcb figure <1|2|3> [--plot]
+  pcb simulate [--program pf|pf-baseline|robson|churn|ramp]
+               [--manager <name>] [--m <words>] [--log-n <k>] [--c <c>]
+               [--map] [--validate]
+  pcb record <file.json> [simulate options]
+  pcb replay <file.json>
+  pcb sweep <bound> c <M_words> <log2_n> <c_from> <c_to>
+  pcb sweep <bound> n <M_over_n> <c> <logn_from> <logn_to>
+  pcb sweep rho <M_words> <log2_n> <c>
+  pcb worst-case <M_words> <log2_n> [first-fit|best-fit]
+  pcb reproduce
+    (bounds: thm1-lower thm2-upper robson-p2 robson-doubled
+             bp11-upper bp11-lower)
+";
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let [m, log_n, c] = args else {
+        return Err("bounds needs <M_words> <log2_n> <c>".into());
+    };
+    let params = Params::new(
+        m.parse().map_err(|e| format!("M: {e}"))?,
+        log_n.parse().map_err(|e| format!("log_n: {e}"))?,
+        c.parse().map_err(|e| format!("c: {e}"))?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{params}");
+    match bounds::thm1::optimal(params) {
+        Some((rho, h)) => println!("thm1 lower bound    {h:.4} x M  (rho = {rho})"),
+        None => println!("thm1 lower bound    infeasible"),
+    }
+    match bounds::thm2::factor(params) {
+        Some(f) => println!("thm2 upper bound    {f:.4} x M"),
+        None => println!("thm2 upper bound    n/a (needs c > log2(n)/2)"),
+    }
+    println!(
+        "robson (P2)         {:.4} x M",
+        bounds::robson::factor_p2(params)
+    );
+    println!(
+        "robson doubled      {:.4} x M",
+        bounds::robson::factor_arbitrary(params)
+    );
+    println!(
+        "bp11 upper          {:.4} x M",
+        bounds::bp11::upper_factor(params)
+    );
+    println!(
+        "bp11 lower          {:.4} x M",
+        bounds::bp11::lower_factor(params)
+    );
+    Ok(())
+}
+
+fn cmd_figure(args: &[String]) -> Result<(), String> {
+    use partial_compaction::sweep::{over_c, over_n, Bound};
+    let plot = args.iter().any(|a| a == "--plot");
+    if plot {
+        let series = match args.first().map(String::as_str) {
+            Some("1") => vec![
+                over_c(Bound::Thm1Lower, 1 << 28, 20, 10..=100),
+                over_c(Bound::Bp11Lower, 1 << 28, 20, 10..=100),
+            ],
+            Some("2") => vec![over_n(Bound::Thm1Lower, 256, 100, 10..=30)],
+            Some("3") => vec![
+                over_c(Bound::Thm2Upper, 1 << 28, 20, 10..=100),
+                over_c(Bound::Bp11Upper, 1 << 28, 20, 10..=100),
+                over_c(Bound::RobsonDoubled, 1 << 28, 20, 10..=100),
+            ],
+            _ => return Err("figure needs 1, 2, or 3".into()),
+        };
+        print!("{}", partial_compaction::plot::render(&series, 72, 20));
+        return Ok(());
+    }
+    match args.first().map(String::as_str) {
+        Some("1") => print_csv(&figures::figure1()),
+        Some("2") => print_csv(&figures::figure2()),
+        Some("3") => print_csv(&figures::figure3()),
+        _ => return Err("figure needs 1, 2, or 3".into()),
+    }
+    Ok(())
+}
+
+fn print_csv<T: serde::Serialize>(rows: &[T]) {
+    let mut header_done = false;
+    for row in rows {
+        let value = serde_json::to_value(row).expect("plain data");
+        let obj = value.as_object().expect("rows are structs");
+        if !header_done {
+            println!("{}", obj.keys().cloned().collect::<Vec<_>>().join(","));
+            header_done = true;
+        }
+        println!(
+            "{}",
+            obj.values()
+                .map(|v| match v {
+                    serde_json::Value::String(s) => s.clone(),
+                    serde_json::Value::Null => String::new(),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+}
+
+#[derive(Debug)]
+struct SimOpts {
+    program: String,
+    manager: ManagerKind,
+    m: u64,
+    log_n: u32,
+    c: u64,
+    map: bool,
+    validate: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
+    let mut opts = SimOpts {
+        program: "pf".into(),
+        manager: ManagerKind::FirstFit,
+        m: 1 << 16,
+        log_n: 10,
+        c: 20,
+        map: false,
+        validate: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--program" => opts.program = value("--program")?,
+            "--manager" => {
+                opts.manager = value("--manager")?
+                    .parse()
+                    .map_err(|e: partial_compaction::alloc::ParseManagerKindError| e.to_string())?
+            }
+            "--m" => opts.m = value("--m")?.parse().map_err(|e| format!("--m: {e}"))?,
+            "--log-n" => {
+                opts.log_n = value("--log-n")?
+                    .parse()
+                    .map_err(|e| format!("--log-n: {e}"))?
+            }
+            "--c" => opts.c = value("--c")?.parse().map_err(|e| format!("--c: {e}"))?,
+            "--map" => opts.map = true,
+            "--validate" => opts.validate = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let params = Params::new(opts.m, opts.log_n, opts.c).map_err(|e| e.to_string())?;
+
+    let heap = if opts.manager.is_unbounded() {
+        Heap::unlimited_compaction()
+    } else if opts.manager.is_compacting() || opts.program.starts_with("pf") {
+        Heap::new(opts.c)
+    } else {
+        Heap::non_moving()
+    };
+    let budget_c = if opts.manager.is_unbounded() {
+        0
+    } else if opts.manager.is_compacting() || opts.program.starts_with("pf") {
+        opts.c
+    } else {
+        u64::MAX
+    };
+    let manager = opts.manager.build(opts.c, opts.m, opts.log_n);
+
+    let program: Box<dyn Program> = match opts.program.as_str() {
+        "pf" | "pf-baseline" => {
+            let mut cfg = PfConfig::new(opts.m, opts.log_n, opts.c).map_err(|e| e.to_string())?;
+            if opts.program == "pf-baseline" {
+                cfg = cfg.with_variant(PfVariant::BASELINE);
+            }
+            if opts.validate {
+                cfg = cfg.with_validation();
+            }
+            Box::new(PfProgram::new(cfg))
+        }
+        "robson" => Box::new(RobsonProgram::new(opts.m, opts.log_n)),
+        "churn" => Box::new(ChurnWorkload::new(ChurnConfig::typical(opts.m, opts.log_n))),
+        "ramp" => Box::new(RampWorkload::new(RampConfig::benign(opts.m, opts.log_n))),
+        other => return Err(format!("unknown program {other}")),
+    };
+
+    let mut exec = Execution::new(heap, program, manager);
+    let report = if let Some(path) = record_to {
+        let mut recorder = TraceRecorder::new(budget_c);
+        let report = exec
+            .run_observed(&mut recorder)
+            .map_err(|e| e.to_string())?;
+        let trace = recorder.into_trace();
+        std::fs::write(&path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!("trace: {} events -> {path}", trace.len());
+        report
+    } else {
+        exec.run().map_err(|e| e.to_string())?
+    };
+
+    println!(
+        "{} vs {}: HS = {} words, HS/M = {:.3}, moved = {:.4}",
+        report.program,
+        report.manager,
+        report.heap_size,
+        report.waste_factor,
+        report.moved_fraction
+    );
+    if opts.program == "pf" {
+        let h = bounds::thm1::factor(params);
+        println!(
+            "theorem 1 bound h = {h:.3}; measured/bound = {:.3}",
+            report.waste_factor / h
+        );
+    }
+    if opts.map {
+        println!("{}", heat_map_rows(exec.heap(), 72, 4));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    use partial_compaction::sweep::{self, Bound};
+    let parse_bound = |s: &str| {
+        Bound::ALL
+            .into_iter()
+            .find(|b| b.label() == s)
+            .ok_or_else(|| format!("unknown bound {s}"))
+    };
+    let series = match args {
+        [b, axis, m, log_n, from, to] if axis == "c" => {
+            let bound = parse_bound(b)?;
+            sweep::over_c(
+                bound,
+                m.parse().map_err(|e| format!("M: {e}"))?,
+                log_n.parse().map_err(|e| format!("log_n: {e}"))?,
+                from.parse::<u64>().map_err(|e| format!("from: {e}"))?
+                    ..=to.parse::<u64>().map_err(|e| format!("to: {e}"))?,
+            )
+        }
+        [b, axis, ratio, c, from, to] if axis == "n" => {
+            let bound = parse_bound(b)?;
+            sweep::over_n(
+                bound,
+                ratio.parse().map_err(|e| format!("M/n: {e}"))?,
+                c.parse().map_err(|e| format!("c: {e}"))?,
+                from.parse::<u32>().map_err(|e| format!("from: {e}"))?
+                    ..=to.parse::<u32>().map_err(|e| format!("to: {e}"))?,
+            )
+        }
+        [rho, m, log_n, c] if rho == "rho" => {
+            let params = Params::new(
+                m.parse().map_err(|e| format!("M: {e}"))?,
+                log_n.parse().map_err(|e| format!("log_n: {e}"))?,
+                c.parse().map_err(|e| format!("c: {e}"))?,
+            )
+            .map_err(|e| e.to_string())?;
+            sweep::over_rho(params, 1..=16)
+        }
+        _ => return Err("see usage for sweep forms".into()),
+    };
+    println!("# {}", series.label);
+    println!("x,factor");
+    for (x, y) in &series.points {
+        println!("{x},{y}");
+    }
+    Ok(())
+}
+
+fn cmd_worst_case(args: &[String]) -> Result<(), String> {
+    use partial_compaction::exhaustive::{worst_case, SearchPolicy};
+    let (m, log_n, policy) = match args {
+        [m, log_n] => (m, log_n, SearchPolicy::FirstFit),
+        [m, log_n, p] if p == "first-fit" => (m, log_n, SearchPolicy::FirstFit),
+        [m, log_n, p] if p == "best-fit" => (m, log_n, SearchPolicy::BestFit),
+        _ => return Err("worst-case needs <M_words> <log2_n> [first-fit|best-fit]".into()),
+    };
+    let params = Params::new(
+        m.parse().map_err(|e| format!("M: {e}"))?,
+        log_n.parse().map_err(|e| format!("log_n: {e}"))?,
+        10,
+    )
+    .map_err(|e| e.to_string())?;
+    if params.m() > 16 || params.log_n() > 3 {
+        return Err(format!(
+            "exhaustive search is toy-scale only (M <= 16, log n <= 3); got {params}"
+        ));
+    }
+    let wc = worst_case(params, policy, 50_000_000);
+    println!(
+        "true worst case for {} at M={}, n={}: HS = {} words ({} reachable states)",
+        policy.name(),
+        params.m(),
+        params.n(),
+        wc.heap_size,
+        wc.states
+    );
+    println!(
+        "Robson's formula (optimal allocator): {:.0} words",
+        bounds::robson::bound_p2(params)
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("replay needs a trace file".into());
+    };
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let trace = partial_compaction::heap::Trace::from_json(&json)?;
+    match trace.replay() {
+        Ok(heap) => {
+            println!(
+                "trace valid: {} events, final HS = {} words, {} live objects",
+                trace.len(),
+                heap.heap_size().get(),
+                heap.live_count()
+            );
+            Ok(())
+        }
+        Err((idx, e)) => Err(format!("trace invalid at event {idx}: {e}")),
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end tests of the `pcb` command-line interface: every
+//! subcommand exercised through the real binary.
+
+use std::process::Command;
+
+fn pcb(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pcb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn bounds_prints_every_bound() {
+    let (stdout, _, ok) = pcb(&["bounds", "268435456", "20", "50"]);
+    assert!(ok);
+    for needle in [
+        "thm1 lower bound",
+        "thm2 upper bound",
+        "robson (P2)",
+        "bp11 upper",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+    assert!(stdout.contains("3.17"), "the c=50 landmark");
+}
+
+#[test]
+fn bounds_rejects_bad_parameters() {
+    let (_, stderr, ok) = pcb(&["bounds", "16", "4", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("must exceed"), "{stderr}");
+}
+
+#[test]
+fn figure_emits_csv_and_plot() {
+    let (csv, _, ok) = pcb(&["figure", "1"]);
+    assert!(ok);
+    assert!(csv.lines().count() > 90);
+    assert!(csv.contains("bp11,c,h,rho") || csv.contains("c,"), "{csv}");
+
+    let (plot, _, ok) = pcb(&["figure", "1", "--plot"]);
+    assert!(ok);
+    assert!(plot.contains("= thm1-lower"));
+    assert!(plot.contains('*'));
+}
+
+#[test]
+fn simulate_reports_the_bound_ratio() {
+    let (stdout, _, ok) = pcb(&[
+        "simulate",
+        "--program",
+        "pf",
+        "--manager",
+        "buddy",
+        "--m",
+        "8192",
+        "--log-n",
+        "9",
+        "--c",
+        "15",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("pf vs buddy"));
+    assert!(stdout.contains("theorem 1 bound"));
+}
+
+#[test]
+fn simulate_rejects_unknown_manager() {
+    let (_, stderr, ok) = pcb(&["simulate", "--manager", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown manager kind"), "{stderr}");
+}
+
+#[test]
+fn record_then_replay_round_trips() {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let path_str = path.to_str().unwrap();
+    let (stdout, _, ok) = pcb(&[
+        "record", path_str, "--program", "robson", "--m", "4096", "--log-n", "6",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("trace:"));
+    let (stdout, _, ok) = pcb(&["replay", path_str]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("trace valid"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn replay_rejects_garbage() {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, "not a trace").unwrap();
+    let (_, _, ok) = pcb(&["replay", path.to_str().unwrap()]);
+    assert!(!ok);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn sweep_rho_lists_feasible_points() {
+    let (stdout, _, ok) = pcb(&["sweep", "rho", "268435456", "20", "100"]);
+    assert!(ok);
+    assert!(stdout.contains("thm1-by-rho"));
+    // rho = 1..=6 feasible at c = 100.
+    assert_eq!(stdout.lines().filter(|l| l.contains(',')).count(), 7); // header + 6
+}
+
+#[test]
+fn worst_case_matches_the_library() {
+    let (stdout, _, ok) = pcb(&["worst-case", "6", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("HS = 9 words"), "{stdout}");
+    // Oversized parameters are refused rather than hanging.
+    let (_, stderr, ok) = pcb(&["worst-case", "4096", "8"]);
+    assert!(!ok);
+    assert!(stderr.contains("toy-scale"), "{stderr}");
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let (_, stderr, ok) = pcb(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}

@@ -1,0 +1,118 @@
+//! Experiment E4: every number the paper's prose quotes, pinned as a test
+//! (see EXPERIMENTS.md for the full paper-vs-measured ledger).
+
+use partial_compaction::figures::{figure1, figure2, figure3};
+use partial_compaction::{bounds, Params};
+
+/// Section 1: "suppose a program uses a live heap space of 256MB and
+/// allocates objects of size at most 1MB ... our lower bound implies that
+/// a heap of size 896MB must be used, i.e., a space overhead of 3.5x"
+/// (at c = 100).
+#[test]
+fn section_1_the_896_megabyte_claim() {
+    let p = Params::paper_example(100);
+    let factor = bounds::thm1::factor(p);
+    assert!((factor - 3.5).abs() < 0.06, "factor = {factor}");
+    let words = bounds::thm1::lower_bound(p);
+    let megabytes = words / (1 << 20) as f64;
+    assert!(
+        (megabytes - 896.0).abs() < 16.0,
+        "lower bound = {megabytes:.0} MB, paper says 896 MB"
+    );
+}
+
+/// Section 1: "our new techniques show that the space overhead must be at
+/// least 2x, i.e., 512MB when 10% of the allocated space can be
+/// compacted."
+#[test]
+fn section_1_the_two_x_claim_at_ten_percent() {
+    let p = Params::paper_example(10);
+    let factor = bounds::thm1::factor(p);
+    assert!(factor >= 1.95, "factor = {factor}");
+    assert!(
+        bounds::thm1::lower_bound(p) >= 0.97 * (512u64 << 20) as f64,
+        "at least ~512 MB"
+    );
+}
+
+/// Section 2.3: "when compaction of 2% of all allocated space is allowed
+/// (c = 50), any memory manager will need to use a heap size of at least
+/// 3.15 · M."
+#[test]
+fn section_2_3_the_c50_claim() {
+    let p = Params::paper_example(50);
+    assert!((bounds::thm1::factor(p) - 3.15).abs() < 0.05);
+}
+
+/// Section 2.3: "previous results in [4, 14] do not provide any bound,
+/// except for the obvious one" across Figure 1's whole range.
+#[test]
+fn prior_lower_bounds_are_trivial_in_the_figure_1_range() {
+    for c in 10..=100 {
+        let p = Params::paper_example(c);
+        assert_eq!(bounds::bp11::lower_factor(p), 1.0, "c={c}");
+        // Robson's bound does not apply to compacting managers at all, so
+        // the only prior compaction-aware bound is [4]'s.
+    }
+}
+
+/// Section 2.2: Robson's matching bound, and the doubled variant for
+/// arbitrary sizes.
+#[test]
+fn section_2_2_robsons_bounds() {
+    let p = Params::paper_example(10);
+    // M(0.5·20 + 1) − n + 1 = 11M − n + 1.
+    let expect = 11.0 * p.m() as f64 - p.n() as f64 + 1.0;
+    assert!((bounds::robson::bound_p2(p) - expect).abs() < 1.0);
+    assert!((bounds::robson::upper_bound_arbitrary(p) - 2.0 * expect).abs() < 2.0);
+}
+
+/// Section 2.2: "[4] have shown a simple compacting collector ... that
+/// uses a heap space of at most (c+1)·M".
+#[test]
+fn section_2_2_bp11_upper_bound() {
+    for c in [10u64, 50, 100] {
+        let p = Params::paper_example(c);
+        assert_eq!(bounds::bp11::upper_bound(p), ((c + 1) * p.m()) as f64);
+    }
+}
+
+/// Theorem 2's side condition and Figure 3's claim: "for c's between 20
+/// and 100 we get improvement".
+#[test]
+fn figure_3_improvement_range() {
+    for c in 20..=100 {
+        let p = Params::paper_example(c);
+        let new = bounds::thm2::factor(p).expect("c > log(n)/2 = 10");
+        assert!(
+            new < bounds::thm2::prior_best_factor(p),
+            "c={c}: {new} not an improvement"
+        );
+    }
+}
+
+/// The figure series are internally consistent and bounded by each other:
+/// lower ≤ upper pointwise wherever both exist.
+#[test]
+fn lower_bounds_never_cross_upper_bounds() {
+    let fig1 = figure1();
+    let fig3 = figure3();
+    for (l, u) in fig1.iter().zip(&fig3) {
+        assert_eq!(l.c, u.c);
+        if let Some(t) = u.thm2 {
+            assert!(l.h <= t, "c={}: lower {} > upper {t}", l.c, l.h);
+        }
+        assert!(l.h <= u.prior_best);
+    }
+}
+
+/// Figure 2's monotone growth in n, and its anchor at the Figure-1 point:
+/// at log n = 20 (n = 1 MB) with M = 256n = 256 MB and c = 100, Figure 2
+/// passes through the same value Figure 1 reports at c = 100.
+#[test]
+fn figure_2_is_anchored_to_figure_1() {
+    let fig2 = figure2();
+    let at_20 = fig2.iter().find(|r| r.log_n == 20).unwrap();
+    let fig1_100 = figure1().into_iter().find(|r| r.c == 100).unwrap();
+    assert!((at_20.h - fig1_100.h).abs() < 1e-9);
+}
