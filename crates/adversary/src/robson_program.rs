@@ -174,7 +174,7 @@ mod tests {
         fn place(
             &mut self,
             req: pcb_heap::AllocRequest,
-            _ops: &mut pcb_heap::HeapOps<'_>,
+            _ops: &mut pcb_heap::HeapOps<'_, '_>,
         ) -> Result<Addr, pcb_heap::PlacementError> {
             let a = Addr::new(self.0);
             self.0 += req.size.get();

@@ -129,7 +129,11 @@ impl MemoryManager for BuddyAllocator {
         self.name
     }
 
-    fn place(&mut self, req: AllocRequest, _ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        _ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         let k = Self::order_for(req.size);
         if k > self.max_order {
             return Err(PlacementError::new(format!(

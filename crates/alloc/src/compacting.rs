@@ -70,7 +70,7 @@ impl CompactingManager {
     /// Slides live objects toward address 0 (in address order) as far as
     /// the budget allows, then rebuilds the free-space view from ground
     /// truth.
-    fn compact(&mut self, ops: &mut HeapOps<'_>) -> Result<(), PlacementError> {
+    fn compact(&mut self, ops: &mut HeapOps<'_, '_>) -> Result<(), PlacementError> {
         self.compactions += 1;
         let mut live: Vec<(ObjectId, Addr, Size)> = ops
             .heap()
@@ -121,7 +121,11 @@ impl MemoryManager for CompactingManager {
         "compacting-bp11"
     }
 
-    fn place(&mut self, req: AllocRequest, ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         if req.size.get() > self.limit {
             return Err(PlacementError::new(format!(
                 "request {} exceeds the whole arena ({} words)",

@@ -64,8 +64,11 @@ impl FitPolicy {
 pub struct FreeSpace {
     /// start -> length, gaps strictly below the frontier.
     by_addr: BTreeMap<u64, u64>,
-    /// length -> set of starts.
-    by_len: BTreeMap<u64, BTreeSet<u64>>,
+    /// Flat `(length, start)` index: lexicographic order groups gaps by
+    /// size with the lowest address first within each size, so every fit
+    /// policy is one or two `range` probes — no per-size inner set to
+    /// allocate and tear down on the (hot) insert/remove path.
+    by_len: BTreeSet<(u64, u64)>,
     /// Everything at or above this address is free.
     frontier: u64,
 }
@@ -98,7 +101,7 @@ impl FreeSpace {
 
     /// The largest interior gap (zero when there is none).
     pub fn largest_gap(&self) -> Size {
-        Size::new(self.by_len.keys().next_back().copied().unwrap_or(0))
+        Size::new(self.by_len.iter().next_back().map_or(0, |&(len, _)| len))
     }
 
     /// The gap ending exactly at `addr`, if any (O(log gaps)).
@@ -127,11 +130,8 @@ impl FreeSpace {
     }
 
     fn index_remove(&mut self, start: u64, len: u64) {
-        let set = self.by_len.get_mut(&len).expect("by_len and by_addr agree");
-        set.remove(&start);
-        if set.is_empty() {
-            self.by_len.remove(&len);
-        }
+        let present = self.by_len.remove(&(len, start));
+        debug_assert!(present, "by_len and by_addr agree");
     }
 
     fn gap_remove(&mut self, start: u64) -> u64 {
@@ -147,7 +147,7 @@ impl FreeSpace {
         debug_assert!(len > 0);
         debug_assert!(start + len <= self.frontier);
         self.by_addr.insert(start, len);
-        self.by_len.entry(len).or_default().insert(start);
+        self.by_len.insert((len, start));
     }
 
     /// Claims `size` words according to `policy` (with
@@ -208,7 +208,7 @@ impl FreeSpace {
         // Fast path: if no gap anywhere fits, go straight to the frontier
         // instead of scanning every hole (adversarial workloads shatter
         // the heap into hundreds of thousands of too-small holes).
-        let any_fits = self.by_len.range(s..).next().is_some();
+        let any_fits = self.by_len.range((s, 0)..).next().is_some();
         let found = if !any_fits {
             None
         } else {
@@ -312,25 +312,40 @@ impl FreeSpace {
     }
 
     fn pick_first(&self, size: u64) -> Option<u64> {
-        self.by_len
-            .range(size..)
-            .filter_map(|(_, starts)| starts.first().copied())
-            .min()
+        // Min start over every fitting size class: hop from class to class
+        // (the first entry of each is its lowest start), skipping the rest
+        // of each class with a fresh range probe.
+        let mut best: Option<u64> = None;
+        let mut from = size;
+        while let Some(&(len, start)) = self.by_len.range((from, 0)..).next() {
+            best = Some(best.map_or(start, |b| b.min(start)));
+            match len.checked_add(1) {
+                Some(next) => from = next,
+                None => break,
+            }
+        }
+        best
     }
 
     fn pick_best(&self, size: u64) -> Option<u64> {
+        // Smallest fitting size, lowest start: the very first entry.
         self.by_len
-            .range(size..)
+            .range((size, 0)..)
             .next()
-            .and_then(|(_, starts)| starts.first().copied())
+            .map(|&(_, start)| start)
     }
 
     fn pick_worst(&self, size: u64) -> Option<u64> {
+        // Largest size... but the LOWEST start within it, so probe the
+        // size class again from its bottom.
+        let &(max_len, _) = self.by_len.iter().next_back()?;
+        if max_len < size {
+            return None;
+        }
         self.by_len
-            .iter()
-            .next_back()
-            .filter(|&(&len, _)| len >= size)
-            .and_then(|(_, starts)| starts.first().copied())
+            .range((max_len, 0)..)
+            .next()
+            .map(|&(_, start)| start)
     }
 
     fn take_frontier(&mut self, size: u64) -> Addr {
@@ -439,16 +454,12 @@ impl FreeSpace {
             if start + len == self.frontier {
                 return Err(format!("gap touching frontier at {start}"));
             }
-            if !self.by_len.get(&len).is_some_and(|s| s.contains(&start)) {
+            if !self.by_len.contains(&(len, start)) {
                 return Err(format!("gap [{start},{len}] missing from size index"));
             }
             prev_end = Some(start + len);
         }
-        let indexed: u64 = self
-            .by_len
-            .iter()
-            .map(|(len, starts)| len * starts.len() as u64)
-            .sum();
+        let indexed: u64 = self.by_len.iter().map(|&(len, _)| len).sum();
         let direct: u64 = self.by_addr.values().sum();
         if indexed != direct {
             return Err(format!("size index mismatch: {indexed} != {direct}"));

@@ -43,7 +43,7 @@ impl FullCompactor {
         self.compactions
     }
 
-    fn compact(&mut self, ops: &mut HeapOps<'_>) -> Result<(), PlacementError> {
+    fn compact(&mut self, ops: &mut HeapOps<'_, '_>) -> Result<(), PlacementError> {
         self.compactions += 1;
         let mut live: Vec<(ObjectId, Addr, Size)> = ops
             .heap()
@@ -72,7 +72,11 @@ impl MemoryManager for FullCompactor {
         "full-compaction"
     }
 
-    fn place(&mut self, req: AllocRequest, ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         // Compact whenever placing at the bump pointer would grow the heap
         // beyond live + request (i.e. whenever there is any garbage below
         // the frontier).

@@ -205,7 +205,7 @@ impl PageManager {
     /// survivor fits elsewhere), and the budget covers one object — an
     /// O(classes) scan. Larger classes are tried first: they return the
     /// most space per eviction.
-    fn evict_one(&mut self, ops: &mut HeapOps<'_>) -> Result<bool, PlacementError> {
+    fn evict_one(&mut self, ops: &mut HeapOps<'_, '_>) -> Result<bool, PlacementError> {
         let mut pick: Option<(u32, u64)> = None;
         for (k, class) in self.classes.iter().enumerate().rev() {
             let k = k as u32;
@@ -239,7 +239,12 @@ impl PageManager {
 
     /// Moves every survivor of page `(k, base)` into other pages of the
     /// class, then returns the page to the pool.
-    fn evacuate(&mut self, k: u32, base: u64, ops: &mut HeapOps<'_>) -> Result<(), PlacementError> {
+    fn evacuate(
+        &mut self,
+        k: u32,
+        base: u64,
+        ops: &mut HeapOps<'_, '_>,
+    ) -> Result<(), PlacementError> {
         let class = &mut self.classes[k as usize];
         let page = class.pages.remove(&base).expect("victim page exists");
         class.free_slots -= self.slots - page.live();
@@ -347,7 +352,11 @@ impl MemoryManager for PageManager {
         "pages-thm2"
     }
 
-    fn place(&mut self, req: AllocRequest, ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         let k = Self::class_for(req.size);
         if k > self.max_order {
             return Err(PlacementError::new(format!(

@@ -49,7 +49,11 @@ impl MemoryManager for FreeListManager {
         self.policy.name()
     }
 
-    fn place(&mut self, req: AllocRequest, _ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        _ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         let addr = match self.policy {
             FitPolicy::NextFit => self.space.take_next_fit(req.size, &mut self.cursor),
             p => self.space.take(req.size, p),

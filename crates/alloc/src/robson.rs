@@ -48,7 +48,11 @@ impl MemoryManager for RobsonAllocator {
         "robson-aligned"
     }
 
-    fn place(&mut self, req: AllocRequest, ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         self.inner.place(req, ops)
     }
 

@@ -55,7 +55,11 @@ impl MemoryManager for SegregatedManager {
         "segregated"
     }
 
-    fn place(&mut self, req: AllocRequest, _ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        _ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         let k = Self::class_for(req.size);
         if k > self.max_order {
             return Err(PlacementError::new(format!(

@@ -151,7 +151,11 @@ impl MemoryManager for TlsfManager {
         "tlsf"
     }
 
-    fn place(&mut self, req: AllocRequest, _ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        _ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         let size = req.size.get();
         match self.find_block(size) {
             Some((start, len)) => {

@@ -1,74 +1,42 @@
-//! Criterion benches for the empirical experiments (E5–E7): full
+//! Benches for the empirical experiments (E5–E7): full
 //! adversary-vs-manager executions at laptop scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use partial_compaction::{sim, ManagerKind, Params, PfVariant};
+use pcb_bench::harness::bench;
 
-fn bench_pf_vs_managers(c: &mut Criterion) {
-    let params = Params::new(1 << 14, 10, 20).expect("valid");
-    let mut group = c.benchmark_group("pf");
-    group.sample_size(10);
+fn main() {
+    let pf_params = Params::new(1 << 14, 10, 20).expect("valid");
     for kind in ManagerKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let report =
-                        sim::run(params, sim::Adversary::PF, kind, false).expect("P_F runs");
-                    assert!(report.waste_over_bound >= 0.9);
-                    black_box(report)
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_robson(c: &mut Criterion) {
-    let params = Params::new(1 << 12, 6, 10).expect("valid");
-    let mut group = c.benchmark_group("robson");
-    group.sample_size(10);
-    for kind in [ManagerKind::FirstFit, ManagerKind::Robson] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let report =
-                        sim::run(params, sim::Adversary::Robson, kind, false).expect("P_R runs");
-                    assert!(report.waste_over_bound >= 1.0);
-                    black_box(report)
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_ablation(c: &mut Criterion) {
-    let params = Params::new(1 << 14, 10, 20).expect("valid");
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    for (name, variant) in [("full", PfVariant::FULL), ("baseline", PfVariant::BASELINE)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &variant, |b, &v| {
-            b.iter(|| {
-                black_box(
-                    sim::run(params, sim::Adversary::Pf(v), ManagerKind::FirstFit, false)
-                        .expect("runs"),
-                )
-            })
+        bench(&format!("pf/{}", kind.name()), 5, || {
+            let report = sim::run(pf_params, sim::Adversary::PF, kind, false).expect("P_F runs");
+            assert!(report.waste_over_bound >= 0.9);
+            black_box(report)
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    adversary,
-    bench_pf_vs_managers,
-    bench_robson,
-    bench_ablation
-);
-criterion_main!(adversary);
+    let robson_params = Params::new(1 << 12, 6, 10).expect("valid");
+    for kind in [ManagerKind::FirstFit, ManagerKind::Robson] {
+        bench(&format!("robson/{}", kind.name()), 5, || {
+            let report =
+                sim::run(robson_params, sim::Adversary::Robson, kind, false).expect("P_R runs");
+            assert!(report.waste_over_bound >= 1.0);
+            black_box(report)
+        });
+    }
+
+    for (name, variant) in [("full", PfVariant::FULL), ("baseline", PfVariant::BASELINE)] {
+        bench(&format!("ablation/{name}"), 5, || {
+            black_box(
+                sim::run(
+                    pf_params,
+                    sim::Adversary::Pf(variant),
+                    ManagerKind::FirstFit,
+                    false,
+                )
+                .expect("runs"),
+            )
+        });
+    }
+}

@@ -1,12 +1,12 @@
-//! Criterion benches for the manager substrate itself: allocation/free
-//! throughput under fragmentation-heavy churn (not a paper figure, but
-//! the baseline cost model for all empirical experiments).
+//! Benches for the manager substrate itself: allocation/free throughput
+//! under fragmentation-heavy churn (not a paper figure, but the baseline
+//! cost model for all empirical experiments).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use partial_compaction::heap::{Execution, Heap, ScriptedProgram, Size};
 use partial_compaction::ManagerKind;
+use pcb_bench::harness::bench;
 
 /// A deterministic churn: interleaved sizes with periodic frees.
 fn churn_script(rounds: usize) -> ScriptedProgram {
@@ -25,29 +25,16 @@ fn churn_script(rounds: usize) -> ScriptedProgram {
     program
 }
 
-fn bench_managers_under_churn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("churn");
-    group.sample_size(10);
+fn main() {
     for kind in ManagerKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let heap = if kind.is_compacting() {
-                        Heap::new(10)
-                    } else {
-                        Heap::non_moving()
-                    };
-                    let mut exec =
-                        Execution::new(heap, churn_script(24), kind.build(10, 1 << 14, 6));
-                    black_box(exec.run().expect("churn runs"))
-                })
-            },
-        );
+        bench(&format!("churn/{}", kind.name()), 10, || {
+            let heap = if kind.is_compacting() {
+                Heap::new(10)
+            } else {
+                Heap::non_moving()
+            };
+            let mut exec = Execution::new(heap, churn_script(24), kind.build(10, 1 << 14, 6));
+            black_box(exec.run().expect("churn runs"))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(allocators, bench_managers_under_churn);
-criterion_main!(allocators);

@@ -1,52 +1,36 @@
-//! Criterion benches regenerating every figure of the paper (E1–E3).
+//! Benches regenerating every figure of the paper (E1–E3).
 //!
-//! Each bench group produces exactly the series of one figure; the bench
-//! result certifies the series is cheap to regenerate, and the assertions
-//! inside pin the paper's landmarks.
+//! Each bench produces exactly the series of one figure; the timing
+//! certifies the series is cheap to regenerate, and the assertions inside
+//! pin the paper's landmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use partial_compaction::figures::{figure1, figure2, figure3};
 use partial_compaction::{bounds, Params};
+use pcb_bench::harness::bench;
 
-fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("fig1/series", |b| {
-        b.iter(|| {
-            let rows = figure1();
-            assert_eq!(rows.len(), 91);
-            black_box(rows)
-        })
+fn main() {
+    bench("fig1/series", 20, || {
+        let rows = figure1();
+        assert_eq!(rows.len(), 91);
+        black_box(rows)
     });
-    c.bench_function("fig1/thm1_point", |b| {
-        let p = Params::paper_example(50);
-        b.iter(|| black_box(bounds::thm1::factor(black_box(p))))
+    let p = Params::paper_example(50);
+    bench("fig1/thm1_point", 10_000, || {
+        black_box(bounds::thm1::factor(black_box(p)))
+    });
+    bench("fig2/series", 20, || {
+        let rows = figure2();
+        assert_eq!(rows.len(), 21);
+        black_box(rows)
+    });
+    bench("fig3/series", 20, || {
+        let rows = figure3();
+        assert_eq!(rows.len(), 91);
+        black_box(rows)
+    });
+    bench("fig3/thm2_point", 10_000, || {
+        black_box(bounds::thm2::factor(black_box(p)))
     });
 }
-
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2/series", |b| {
-        b.iter(|| {
-            let rows = figure2();
-            assert_eq!(rows.len(), 21);
-            black_box(rows)
-        })
-    });
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3/series", |b| {
-        b.iter(|| {
-            let rows = figure3();
-            assert_eq!(rows.len(), 91);
-            black_box(rows)
-        })
-    });
-    c.bench_function("fig3/thm2_point", |b| {
-        let p = Params::paper_example(50);
-        b.iter(|| black_box(bounds::thm2::factor(black_box(p))))
-    });
-}
-
-criterion_group!(figures, bench_fig1, bench_fig2, bench_fig3);
-criterion_main!(figures);

@@ -14,13 +14,26 @@
 use partial_compaction::workload::{ChurnConfig, ChurnWorkload, RampConfig, RampWorkload};
 use partial_compaction::{bounds, sim, Execution, Heap, ManagerKind, Params};
 
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug)]
 struct GapRow {
     workload: String,
     manager: String,
     waste: f64,
     worst_case_h: f64,
     fraction_of_worst: f64,
+}
+
+impl pcb_json::ToJson for GapRow {
+    fn to_json(&self) -> pcb_json::Json {
+        use pcb_json::Json;
+        Json::object([
+            ("workload", Json::from(self.workload.as_str())),
+            ("manager", Json::from(self.manager.as_str())),
+            ("waste", Json::from(self.waste)),
+            ("worst_case_h", Json::from(self.worst_case_h)),
+            ("fraction_of_worst", Json::from(self.fraction_of_worst)),
+        ])
+    }
 }
 
 fn main() {

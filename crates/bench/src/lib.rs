@@ -2,7 +2,8 @@
 //! and tabular output helpers used by the `fig*`, `empirical`, and
 //! `ablation` binaries.
 
-use partial_compaction::{sim, ManagerKind, Params, PfVariant};
+use partial_compaction::{parallel, sim, ManagerKind, Params, PfVariant};
+use pcb_json::{Json, ToJson};
 
 /// The scaled-down parameter grid used by the empirical experiments
 /// (E5/E6 in DESIGN.md). The paper's figures are analytic; these runs
@@ -18,7 +19,7 @@ pub fn empirical_grid() -> Vec<Params> {
 }
 
 /// One row of the empirical experiment output.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct EmpiricalRow {
     /// Live bound in words.
     pub m: u64,
@@ -38,59 +39,79 @@ pub struct EmpiricalRow {
     pub moved: f64,
 }
 
-/// Runs `P_F` against every manager across the grid.
-pub fn run_empirical(validate: bool) -> Vec<EmpiricalRow> {
-    let mut rows = Vec::new();
-    for params in empirical_grid() {
-        for kind in ManagerKind::ALL {
-            let report = sim::run(params, sim::Adversary::PF, kind, validate)
-                .expect("grid points are feasible and managers serve P_F");
-            assert!(
-                report.violations.is_empty(),
-                "{kind}: {:?}",
-                report.violations
-            );
-            rows.push(EmpiricalRow {
-                m: params.m(),
-                log_n: params.log_n(),
-                c: params.c(),
-                manager: kind.name().to_owned(),
-                h: report.h,
-                waste: report.execution.waste_factor,
-                ratio: report.waste_over_bound,
-                moved: report.execution.moved_fraction,
-            });
-        }
+impl ToJson for EmpiricalRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("m", Json::from(self.m)),
+            ("log_n", Json::from(self.log_n)),
+            ("c", Json::from(self.c)),
+            ("manager", Json::from(self.manager.as_str())),
+            ("h", Json::from(self.h)),
+            ("waste", Json::from(self.waste)),
+            ("ratio", Json::from(self.ratio)),
+            ("moved", Json::from(self.moved)),
+        ])
     }
-    rows
 }
 
-/// Runs Robson's `P_R` against the non-moving managers (experiment E6).
+/// Runs `P_F` against every manager across the grid, fanning the
+/// independent program×manager runs across threads (rows come back in
+/// grid order regardless of thread count).
+pub fn run_empirical(validate: bool) -> Vec<EmpiricalRow> {
+    let cells: Vec<(Params, ManagerKind)> = empirical_grid()
+        .into_iter()
+        .flat_map(|params| ManagerKind::ALL.into_iter().map(move |kind| (params, kind)))
+        .collect();
+    parallel::par_map(&cells, |&(params, kind)| {
+        let report = sim::run(params, sim::Adversary::PF, kind, validate)
+            .expect("grid points are feasible and managers serve P_F");
+        assert!(
+            report.violations.is_empty(),
+            "{kind}: {:?}",
+            report.violations
+        );
+        EmpiricalRow {
+            m: params.m(),
+            log_n: params.log_n(),
+            c: params.c(),
+            manager: kind.name().to_owned(),
+            h: report.h,
+            waste: report.execution.waste_factor,
+            ratio: report.waste_over_bound,
+            moved: report.execution.moved_fraction,
+        }
+    })
+}
+
+/// Runs Robson's `P_R` against the non-moving managers (experiment E6),
+/// one grid cell per thread.
 pub fn run_robson_empirical() -> Vec<EmpiricalRow> {
-    let mut rows = Vec::new();
+    let mut cells: Vec<(Params, ManagerKind)> = Vec::new();
     for (m_shift, log_n) in [(12u32, 6u32), (14, 8)] {
         let params = Params::new(1 << m_shift, log_n, 10).expect("valid");
         for kind in ManagerKind::NON_MOVING {
-            let report = sim::run(params, sim::Adversary::Robson, kind, false)
-                .expect("P_R runs against non-moving managers");
-            rows.push(EmpiricalRow {
-                m: params.m(),
-                log_n: params.log_n(),
-                c: 0,
-                manager: kind.name().to_owned(),
-                h: report.h,
-                waste: report.execution.waste_factor,
-                ratio: report.waste_over_bound,
-                moved: report.execution.moved_fraction,
-            });
+            cells.push((params, kind));
         }
     }
-    rows
+    parallel::par_map(&cells, |&(params, kind)| {
+        let report = sim::run(params, sim::Adversary::Robson, kind, false)
+            .expect("P_R runs against non-moving managers");
+        EmpiricalRow {
+            m: params.m(),
+            log_n: params.log_n(),
+            c: 0,
+            manager: kind.name().to_owned(),
+            h: report.h,
+            waste: report.execution.waste_factor,
+            ratio: report.waste_over_bound,
+            moved: report.execution.moved_fraction,
+        }
+    })
 }
 
 /// One row of the ablation experiment (E7): the §3.1 improvements
 /// individually toggled.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Compaction bound.
     pub c: u64,
@@ -100,6 +121,17 @@ pub struct AblationRow {
     pub variant: String,
     /// Measured `HS / M`.
     pub waste: f64,
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("c", Json::from(self.c)),
+            ("manager", Json::from(self.manager.as_str())),
+            ("variant", Json::from(self.variant.as_str())),
+            ("waste", Json::from(self.waste)),
+        ])
+    }
 }
 
 /// The named variants of the ablation: full, each improvement off in
@@ -132,9 +164,9 @@ pub fn ablation_variants() -> Vec<(&'static str, PfVariant)> {
     ]
 }
 
-/// Runs the ablation grid.
+/// Runs the ablation grid, one c×manager×variant cell per thread.
 pub fn run_ablation() -> Vec<AblationRow> {
-    let mut rows = Vec::new();
+    let mut cells: Vec<(Params, ManagerKind, &'static str, PfVariant)> = Vec::new();
     for c in [10u64, 20, 50] {
         let params = Params::new(1 << 16, 10, c).expect("valid");
         for kind in [
@@ -143,24 +175,26 @@ pub fn run_ablation() -> Vec<AblationRow> {
             ManagerKind::PagesThm2,
         ] {
             for (name, variant) in ablation_variants() {
-                let report = sim::run(params, sim::Adversary::Pf(variant), kind, false)
-                    .expect("ablation points run");
-                rows.push(AblationRow {
-                    c,
-                    manager: kind.name().to_owned(),
-                    variant: name.to_owned(),
-                    waste: report.execution.waste_factor,
-                });
+                cells.push((params, kind, name, variant));
             }
         }
     }
-    rows
+    parallel::par_map(&cells, |&(params, kind, name, variant)| {
+        let report = sim::run(params, sim::Adversary::Pf(variant), kind, false)
+            .expect("ablation points run");
+        AblationRow {
+            c: params.c(),
+            manager: kind.name().to_owned(),
+            variant: name.to_owned(),
+            waste: report.execution.waste_factor,
+        }
+    })
 }
 
 /// One row of the geometry ablation: the Theorem-2-style manager's
 /// objects-per-page knob (DESIGN.md calls out the factor-4 chunk
 /// geometry) swept under `P_F`.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct GeometryRow {
     /// Compaction bound.
     pub c: u64,
@@ -170,6 +204,17 @@ pub struct GeometryRow {
     pub waste: f64,
     /// Fraction of allocated words moved.
     pub moved: f64,
+}
+
+impl ToJson for GeometryRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("c", Json::from(self.c)),
+            ("slots", Json::from(self.slots)),
+            ("waste", Json::from(self.waste)),
+            ("moved", Json::from(self.moved)),
+        ])
+    }
 }
 
 /// Sweeps the page geometry of the Theorem-2-style manager under `P_F`.
@@ -198,24 +243,46 @@ pub fn run_geometry_ablation() -> Vec<GeometryRow> {
     rows
 }
 
-/// Renders serializable rows as a CSV table (header from the first row's
-/// field names, alphabetical).
-pub fn to_csv<T: serde::Serialize>(rows: &[T]) -> String {
+/// Minimal wall-clock bench driver for the `benches/` targets (the
+/// repository carries no external bench harness).
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Runs `f` once for warmup, then `iters` timed iterations, and
+    /// prints the mean wall-clock per iteration.
+    pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+        assert!(iters > 0);
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let mean = start.elapsed() / iters;
+        println!("{name}: {mean:?}/iter over {iters} iters");
+    }
+}
+
+/// Renders rows as a CSV table (header from the first row's field names,
+/// alphabetical — [`Json`] objects keep their keys sorted).
+pub fn to_csv<T: ToJson>(rows: &[T]) -> String {
     let mut out = String::new();
     let mut header_done = false;
     for row in rows {
-        let value = serde_json::to_value(row).expect("rows are plain structs");
-        let obj = value.as_object().expect("rows serialize to objects");
+        let value = row.to_json();
+        let Json::Object(obj) = &value else {
+            panic!("rows serialize to objects");
+        };
         if !header_done {
-            out.push_str(&obj.keys().cloned().collect::<Vec<_>>().join(","));
+            out.push_str(&obj.keys().map(String::as_str).collect::<Vec<_>>().join(","));
             out.push('\n');
             header_done = true;
         }
         let line: Vec<String> = obj
             .values()
             .map(|v| match v {
-                serde_json::Value::String(s) => s.clone(),
-                serde_json::Value::Null => String::new(),
+                Json::Str(s) => s.clone(),
+                Json::Null => String::new(),
                 other => other.to_string(),
             })
             .collect();
@@ -225,8 +292,8 @@ pub fn to_csv<T: serde::Serialize>(rows: &[T]) -> String {
     out
 }
 
-/// Prints serializable rows as CSV to stdout.
-pub fn print_csv<T: serde::Serialize>(rows: &[T]) {
+/// Prints rows as CSV to stdout.
+pub fn print_csv<T: ToJson>(rows: &[T]) {
     print!("{}", to_csv(rows));
 }
 

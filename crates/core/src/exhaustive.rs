@@ -18,10 +18,18 @@
 //! Only non-moving, *stateless* policies are searchable (the heap
 //! configuration then fully determines future behaviour); that covers
 //! first-fit and best-fit. The state space is the set of reachable
-//! interval configurations, deduplicated, so the search is a plain BFS.
+//! interval configurations, deduplicated, so the search is a BFS — run
+//! **level-synchronously**: each frontier is expanded in parallel (the
+//! successor function is pure) and the new states are deduplicated into a
+//! hash-sharded seen-set, one shard per worker, so no locks are needed.
+//! The reachable set, the worst heap size, and the state count are
+//! independent of expansion order, so the parallel search returns exactly
+//! what the sequential one does (set `PCB_THREADS=1` to force the
+//! sequential path).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
+use crate::parallel;
 use crate::params::Params;
 
 /// A stateless placement policy searchable by [`worst_case`].
@@ -108,52 +116,131 @@ pub fn worst_case(params: Params, policy: SearchPolicy, max_states: usize) -> Wo
 
     // A state is the sorted tuple of occupied intervals (start, len).
     type State = Vec<(u64, u64)>;
-    let mut seen: HashSet<State> = HashSet::new();
-    let mut queue: VecDeque<State> = VecDeque::new();
+
+    /// Stable shard assignment (FNV-1a over the interval words). The
+    /// partition must not depend on `HashSet`'s per-process randomized
+    /// hasher, so the shard sizes — and the assertions driven by their
+    /// sum — behave identically from run to run.
+    fn shard_of(state: &[(u64, u64)], shards: usize) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &(start, len) in state {
+            for word in [start, len] {
+                h ^= word;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        (h % shards as u64) as usize
+    }
+
+    /// Below this many frontier states a level is expanded inline; the
+    /// per-level thread fan-out only pays for itself on wide levels.
+    const PAR_LEVEL: usize = 256;
+
+    let shards = parallel::thread_count().clamp(1, 64);
+    let mut seen: Vec<HashSet<State>> = vec![HashSet::new(); shards];
+    let mut frontier: Vec<State> = vec![Vec::new()];
+    seen[shard_of(&[], shards)].insert(Vec::new());
     let mut worst = 0u64;
 
-    seen.insert(Vec::new());
-    queue.push_back(Vec::new());
-
-    while let Some(state) = queue.pop_front() {
+    // Pure successor function: span of the state plus every state one
+    // allocation or one free away. Safe to evaluate from any thread.
+    let expand = |state: &State| -> (u64, Vec<State>) {
         let live: u64 = state.iter().map(|&(_, l)| l).sum();
         let span = state.last().map(|&(s, l)| s + l).unwrap_or(0);
-        worst = worst.max(span);
         assert!(
             span < limit,
             "address cap reached; enlarge the limit to certify a maximum"
         );
-
-        // Successors: allocate any P2 size that fits under M.
+        let mut succ = Vec::with_capacity(sizes.len() + state.len());
+        // Allocate any P2 size that fits under M.
         for &size in &sizes {
             if live + size > m {
                 continue;
             }
-            let addr = policy.place(&state, size);
+            let addr = policy.place(state, size);
             let mut next = state.clone();
             let pos = next.partition_point(|&(s, _)| s < addr);
             next.insert(pos, (addr, size));
-            if seen.insert(next.clone()) {
-                assert!(
-                    seen.len() <= max_states,
-                    "state space exceeded {max_states}; parameters are not toy-scale"
-                );
-                queue.push_back(next);
-            }
+            succ.push(next);
         }
-        // Successors: free any single object.
+        // Free any single object.
         for i in 0..state.len() {
             let mut next = state.clone();
             next.remove(i);
-            if seen.insert(next.clone()) {
-                queue.push_back(next);
+            succ.push(next);
+        }
+        (span, succ)
+    };
+
+    while !frontier.is_empty() {
+        // Level-synchronous expansion: fan the frontier across threads.
+        let expanded: Vec<(u64, Vec<State>)> = if frontier.len() >= PAR_LEVEL {
+            parallel::par_map(&frontier, |state| expand(state))
+        } else {
+            frontier.iter().map(&expand).collect()
+        };
+
+        // Route successors to their dedup shard. Each shard is owned by
+        // exactly one worker below, so insertion needs no locks.
+        let mut by_shard: Vec<Vec<State>> = vec![Vec::new(); shards];
+        for (span, succ) in expanded {
+            worst = worst.max(span);
+            for next in succ {
+                by_shard[shard_of(&next, shards)].push(next);
             }
         }
+
+        let total_succ: usize = by_shard.iter().map(Vec::len).sum();
+        frontier = if shards > 1 && total_succ >= PAR_LEVEL {
+            let mut fresh_by_shard: Vec<Vec<State>> = Vec::with_capacity(shards);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = seen
+                    .iter_mut()
+                    .zip(by_shard)
+                    .map(|(shard, bucket)| {
+                        scope.spawn(move || {
+                            let mut fresh = Vec::with_capacity(bucket.len());
+                            for next in bucket {
+                                if !shard.contains(&next) {
+                                    shard.insert(next.clone());
+                                    fresh.push(next);
+                                }
+                            }
+                            fresh
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    match handle.join() {
+                        Ok(fresh) => fresh_by_shard.push(fresh),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+            });
+            fresh_by_shard.into_iter().flatten().collect()
+        } else {
+            let mut fresh = Vec::with_capacity(total_succ);
+            for (shard, bucket) in seen.iter_mut().zip(by_shard) {
+                for next in bucket {
+                    if !shard.contains(&next) {
+                        shard.insert(next.clone());
+                        fresh.push(next);
+                    }
+                }
+            }
+            fresh
+        };
+
+        let states: usize = seen.iter().map(HashSet::len).sum();
+        assert!(
+            states <= max_states,
+            "state space exceeded {max_states}; parameters are not toy-scale"
+        );
     }
 
     WorstCase {
         heap_size: worst,
-        states: seen.len(),
+        states: seen.iter().map(HashSet::len).sum(),
     }
 }
 

@@ -2,14 +2,18 @@
 //!
 //! The paper's figures are analytic (they plot the bound formulas, not
 //! measurements); these functions regenerate the exact series at the
-//! paper's parameters. The `pcb-bench` crate prints them as CSV and
-//! exercises them under Criterion.
+//! paper's parameters, fanning the grid points across threads via
+//! [`parallel::par_map`] (results stay in sweep order). The `pcb-bench`
+//! crate prints them as CSV and times them in its benches.
+
+use pcb_json::{Json, ToJson};
 
 use crate::bounds::{bp11, robson, thm1, thm2};
+use crate::parallel;
 use crate::params::Params;
 
 /// One point of Figure 1: the lower-bound waste factor vs. `c`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Row {
     /// Compaction bound.
     pub c: u64,
@@ -24,22 +28,32 @@ pub struct Fig1Row {
 /// Figure 1: lower bound on the waste factor for `M = 256 MB`,
 /// `n = 1 MB` (words: `2^28`, `2^20`), `c = 10..=100`.
 pub fn figure1() -> Vec<Fig1Row> {
-    (10..=100)
-        .map(|c| {
-            let p = Params::paper_example(c);
-            let (rho, _) = thm1::optimal(p).expect("feasible at paper parameters");
-            Fig1Row {
-                c,
-                h: thm1::factor(p),
-                rho,
-                bp11: bp11::lower_factor(p),
-            }
-        })
-        .collect()
+    let cs: Vec<u64> = (10..=100).collect();
+    parallel::par_map(&cs, |&c| {
+        let p = Params::paper_example(c);
+        let (rho, _) = thm1::optimal(p).expect("feasible at paper parameters");
+        Fig1Row {
+            c,
+            h: thm1::factor(p),
+            rho,
+            bp11: bp11::lower_factor(p),
+        }
+    })
+}
+
+impl ToJson for Fig1Row {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("c", Json::from(self.c)),
+            ("h", Json::from(self.h)),
+            ("rho", Json::from(self.rho)),
+            ("bp11", Json::from(self.bp11)),
+        ])
+    }
 }
 
 /// One point of Figure 2: the lower-bound waste factor vs. `n`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2Row {
     /// `log₂ n` (n in words; the paper sweeps 1 KB to 1 GB).
     pub log_n: u32,
@@ -54,22 +68,32 @@ pub struct Fig2Row {
 /// Figure 2: lower bound on the waste factor as a function of `n`
 /// (`c = 100`, `M = 256·n`, `n = 2^10 ..= 2^30`).
 pub fn figure2() -> Vec<Fig2Row> {
-    (10..=30)
-        .map(|log_n| {
-            let p = Params::new(256u64 << log_n, log_n, 100).expect("valid sweep point");
-            let (rho, _) = thm1::optimal(p).expect("feasible across the sweep");
-            Fig2Row {
-                log_n,
-                m: p.m(),
-                h: thm1::factor(p),
-                rho,
-            }
-        })
-        .collect()
+    let log_ns: Vec<u32> = (10..=30).collect();
+    parallel::par_map(&log_ns, |&log_n| {
+        let p = Params::new(256u64 << log_n, log_n, 100).expect("valid sweep point");
+        let (rho, _) = thm1::optimal(p).expect("feasible across the sweep");
+        Fig2Row {
+            log_n,
+            m: p.m(),
+            h: thm1::factor(p),
+            rho,
+        }
+    })
+}
+
+impl ToJson for Fig2Row {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("log_n", Json::from(self.log_n)),
+            ("m", Json::from(self.m)),
+            ("h", Json::from(self.h)),
+            ("rho", Json::from(self.rho)),
+        ])
+    }
 }
 
 /// One point of Figure 3: upper-bound waste factors vs. `c`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Row {
     /// Compaction bound.
     pub c: u64,
@@ -86,18 +110,29 @@ pub struct Fig3Row {
 /// Figure 3: upper bound on the waste factor for the Figure-1 parameters,
 /// `c = 10..=100`.
 pub fn figure3() -> Vec<Fig3Row> {
-    (10..=100)
-        .map(|c| {
-            let p = Params::paper_example(c);
-            Fig3Row {
-                c,
-                thm2: thm2::factor(p),
-                bp11_upper: bp11::upper_factor(p),
-                robson_doubled: robson::factor_arbitrary(p),
-                prior_best: thm2::prior_best_factor(p),
-            }
-        })
-        .collect()
+    let cs: Vec<u64> = (10..=100).collect();
+    parallel::par_map(&cs, |&c| {
+        let p = Params::paper_example(c);
+        Fig3Row {
+            c,
+            thm2: thm2::factor(p),
+            bp11_upper: bp11::upper_factor(p),
+            robson_doubled: robson::factor_arbitrary(p),
+            prior_best: thm2::prior_best_factor(p),
+        }
+    })
+}
+
+impl ToJson for Fig3Row {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("c", Json::from(self.c)),
+            ("thm2", self.thm2.map_or(Json::Null, Json::from)),
+            ("bp11_upper", Json::from(self.bp11_upper)),
+            ("robson_doubled", Json::from(self.robson_doubled)),
+            ("prior_best", Json::from(self.prior_best)),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -62,12 +62,14 @@
 pub mod bounds;
 pub mod exhaustive;
 pub mod figures;
+pub mod parallel;
 mod params;
 pub mod plot;
 pub mod reproduce;
 pub mod sim;
 pub mod sweep;
 
+pub use parallel::{par_map, thread_count};
 pub use params::{Params, ParamsError};
 
 pub use pcb_adversary as adversary;

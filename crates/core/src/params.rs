@@ -17,11 +17,22 @@ use core::fmt;
 /// assert_eq!(p.m_over_n(), 256.0);
 /// # Ok::<(), partial_compaction::ParamsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Params {
     m: u64,
     log_n: u32,
     c: u64,
+}
+
+impl pcb_json::ToJson for Params {
+    fn to_json(&self) -> pcb_json::Json {
+        use pcb_json::Json;
+        Json::object([
+            ("m", Json::from(self.m)),
+            ("log_n", Json::from(self.log_n)),
+            ("c", Json::from(self.c)),
+        ])
+    }
 }
 
 /// Validation error for [`Params`].

@@ -7,12 +7,13 @@
 
 use crate::bounds::{bp11, robson, thm1, thm2};
 use crate::exhaustive::{self, SearchPolicy};
+use crate::parallel;
 use crate::params::Params;
 use crate::sim;
 use pcb_alloc::ManagerKind;
 
 /// One reproduced claim.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Check {
     /// Short id (experiment or paper locus).
     pub id: String,
@@ -22,6 +23,18 @@ pub struct Check {
     pub measured: String,
     /// Whether the measurement supports the claim.
     pub pass: bool,
+}
+
+impl pcb_json::ToJson for Check {
+    fn to_json(&self) -> pcb_json::Json {
+        use pcb_json::Json;
+        Json::object([
+            ("id", Json::from(self.id.as_str())),
+            ("claim", Json::from(self.claim.as_str())),
+            ("measured", Json::from(self.measured.as_str())),
+            ("pass", Json::from(self.pass)),
+        ])
+    }
 }
 
 impl Check {
@@ -118,11 +131,14 @@ pub fn all_checks() -> Vec<Check> {
     {
         let params = Params::new(1 << 14, 10, 20).expect("valid");
         let h = thm1::factor(params);
+        // The per-manager runs are independent; fan them across threads
+        // and reduce in manager order so the summary is deterministic.
+        let reports = parallel::par_map(&ManagerKind::ALL, |&kind| {
+            sim::run(params, sim::Adversary::PF, kind, true).expect("managers serve P_F")
+        });
         let mut worst: (f64, &str) = (f64::INFINITY, "");
         let mut all_ok = true;
-        for kind in ManagerKind::ALL {
-            let report =
-                sim::run(params, sim::Adversary::PF, kind, true).expect("managers serve P_F");
+        for (kind, report) in ManagerKind::ALL.iter().zip(&reports) {
             let ratio = report.execution.waste_factor / h;
             if ratio < worst.0 {
                 worst = (ratio, kind.name());
@@ -142,8 +158,9 @@ pub fn all_checks() -> Vec<Check> {
         let params = Params::new(1 << 12, 6, 10).expect("valid");
         let mut all_ok = true;
         let mut worst = f64::INFINITY;
-        for kind in ManagerKind::NON_MOVING {
-            let report = sim::run(params, sim::Adversary::Robson, kind, false).expect("P_R runs");
+        for report in parallel::par_map(&ManagerKind::NON_MOVING, |&kind| {
+            sim::run(params, sim::Adversary::Robson, kind, false).expect("P_R runs")
+        }) {
             worst = worst.min(report.waste_over_bound);
             all_ok &= report.waste_over_bound >= 1.0;
         }
@@ -194,9 +211,8 @@ pub fn all_checks() -> Vec<Check> {
     // ---- E6 exactness: the free-list policies attain Robson's bound. ----
     {
         let params = Params::new(1 << 12, 6, 10).expect("valid");
-        let report =
-            sim::run(params, sim::Adversary::Robson, ManagerKind::FirstFit, false)
-                .expect("P_R runs");
+        let report = sim::run(params, sim::Adversary::Robson, ManagerKind::FirstFit, false)
+            .expect("P_R runs");
         let exact = (report.waste_over_bound - 1.0).abs() < 1e-9;
         checks.push(Check::new(
             "E6/exact",

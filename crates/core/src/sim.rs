@@ -27,7 +27,7 @@ impl Adversary {
 }
 
 /// Outcome of one adversary-vs-manager simulation.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// The underlying execution report.
     pub execution: pcb_heap::Report,
@@ -45,6 +45,33 @@ pub struct SimReport {
     pub final_potential: Option<i128>,
     /// Analysis violations recorded during a validated run.
     pub violations: Vec<String>,
+}
+
+impl pcb_json::ToJson for SimReport {
+    fn to_json(&self) -> pcb_json::Json {
+        use pcb_json::Json;
+        Json::object([
+            ("execution", self.execution.to_json()),
+            ("h", Json::from(self.h)),
+            ("rho", Json::from(self.rho)),
+            ("waste_over_bound", Json::from(self.waste_over_bound)),
+            (
+                "stage_words",
+                Json::array(self.stage_words.iter().map(|&w| Json::from(w))),
+            ),
+            (
+                "final_potential",
+                match self.final_potential {
+                    Some(u) => Json::Int(u),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "violations",
+                Json::array(self.violations.iter().map(|v| Json::from(v.as_str()))),
+            ),
+        ])
+    }
 }
 
 impl fmt::Display for SimReport {

@@ -7,10 +7,11 @@
 //! knob?).
 
 use crate::bounds::{bp11, robson, thm1, thm2};
+use crate::parallel;
 use crate::params::Params;
 
 /// A labelled series of `(x, y)` points.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// What the series shows (e.g. `"thm1"`).
     pub label: String,
@@ -19,11 +20,37 @@ pub struct Series {
     pub points: Vec<(f64, f64)>,
 }
 
+impl pcb_json::ToJson for Series {
+    fn to_json(&self) -> pcb_json::Json {
+        use pcb_json::Json;
+        Json::object([
+            ("label", Json::from(self.label.as_str())),
+            (
+                "points",
+                Json::array(
+                    self.points
+                        .iter()
+                        .map(|&(x, y)| Json::array([Json::from(x), Json::from(y)])),
+                ),
+            ),
+        ])
+    }
+}
+
 impl Series {
-    fn collect(label: &str, xs: impl Iterator<Item = (f64, Option<f64>)>) -> Series {
+    /// Evaluates `eval` at every grid point in parallel (input order is
+    /// preserved, so the result is identical to a sequential sweep) and
+    /// keeps the points where the bound applies.
+    fn collect_par<X: Copy + Sync, F>(label: &str, xs: Vec<X>, eval: F) -> Series
+    where
+        F: Fn(X) -> (f64, Option<f64>) + Sync,
+    {
         Series {
             label: label.to_owned(),
-            points: xs.filter_map(|(x, y)| y.map(|y| (x, y))).collect(),
+            points: parallel::par_map(&xs, |&x| eval(x))
+                .into_iter()
+                .filter_map(|(x, y)| y.map(|y| (x, y)))
+                .collect(),
         }
     }
 
@@ -103,13 +130,10 @@ impl Bound {
 /// assert!(s.is_non_decreasing());
 /// ```
 pub fn over_c(bound: Bound, m: u64, log_n: u32, cs: impl Iterator<Item = u64>) -> Series {
-    Series::collect(
-        bound.label(),
-        cs.map(|c| {
-            let y = Params::new(m, log_n, c).ok().and_then(|p| bound.factor(p));
-            (c as f64, y)
-        }),
-    )
+    Series::collect_par(bound.label(), cs.collect(), |c| {
+        let y = Params::new(m, log_n, c).ok().and_then(|p| bound.factor(p));
+        (c as f64, y)
+    })
 }
 
 /// Sweeps a bound over `log₂ n` with `c` fixed and `M = ratio·n`.
@@ -120,15 +144,12 @@ pub fn over_c(bound: Bound, m: u64, log_n: u32, cs: impl Iterator<Item = u64>) -
 /// assert!(s.at(20.0).unwrap() > 3.0); // the Figure-1 anchor
 /// ```
 pub fn over_n(bound: Bound, m_over_n: u64, c: u64, log_ns: impl Iterator<Item = u32>) -> Series {
-    Series::collect(
-        bound.label(),
-        log_ns.map(|log_n| {
-            let y = Params::new(m_over_n << log_n, log_n, c)
-                .ok()
-                .and_then(|p| bound.factor(p));
-            (log_n as f64, y)
-        }),
-    )
+    Series::collect_par(bound.label(), log_ns.collect(), |log_n| {
+        let y = Params::new(m_over_n << log_n, log_n, c)
+            .ok()
+            .and_then(|p| bound.factor(p));
+        (log_n as f64, y)
+    })
 }
 
 /// Sweeps Theorem 1 over the density exponent `ρ` at fixed parameters —
@@ -142,10 +163,9 @@ pub fn over_n(bound: Bound, m_over_n: u64, c: u64, log_ns: impl Iterator<Item = 
 /// assert!(s.points.len() <= 6);
 /// ```
 pub fn over_rho(params: Params, rhos: impl Iterator<Item = u32>) -> Series {
-    Series::collect(
-        "thm1-by-rho",
-        rhos.map(|rho| (rho as f64, thm1::factor_for_rho(params, rho))),
-    )
+    Series::collect_par("thm1-by-rho", rhos.collect(), |rho| {
+        (rho as f64, thm1::factor_for_rho(params, rho))
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! The parallel experiment engine must be invisible in the results:
+//! every experiment surface run with `PCB_THREADS=1` (the exact
+//! sequential code path) and with several worker threads must produce
+//! identical output.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the
+//! process-wide `PCB_THREADS` variable, and cargo runs test binaries one
+//! at a time, so a lone test is the race-free way to flip the knob.
+
+use partial_compaction::exhaustive::{worst_case, SearchPolicy};
+use partial_compaction::sweep::{self, Bound};
+use partial_compaction::{figures, parallel, sim, ManagerKind, Params};
+
+fn with_threads<T>(threads: &str, run: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("PCB_THREADS").ok();
+    std::env::set_var("PCB_THREADS", threads);
+    let out = run();
+    match saved {
+        Some(v) => std::env::set_var("PCB_THREADS", v),
+        None => std::env::remove_var("PCB_THREADS"),
+    }
+    out
+}
+
+#[test]
+fn parallel_results_are_identical_to_sequential() {
+    type Surface = fn() -> String;
+    let surfaces: [(&str, Surface); 4] = [
+        ("sweep", || {
+            let series = [
+                sweep::over_c(Bound::Thm1Lower, 1 << 20, 12, 10..=200),
+                sweep::over_c(Bound::Thm2Upper, 1 << 20, 12, 10..=200),
+                sweep::over_n(Bound::RobsonP2, 16, 40, 1..=16),
+            ];
+            format!("{series:?}")
+        }),
+        ("figures", || {
+            format!(
+                "{:?}\n{:?}\n{:?}",
+                figures::figure1(),
+                figures::figure2(),
+                figures::figure3()
+            )
+        }),
+        ("exhaustive", || {
+            let params = Params::new(6, 1, 10).expect("toy params");
+            let ff = worst_case(params, SearchPolicy::FirstFit, 1_000_000);
+            let bf = worst_case(params, SearchPolicy::BestFit, 1_000_000);
+            format!("{ff:?}\n{bf:?}")
+        }),
+        ("empirical", || {
+            let params = Params::new(1 << 13, 9, 20).expect("valid");
+            let cells: Vec<ManagerKind> = ManagerKind::ALL.to_vec();
+            let reports = parallel::par_map(&cells, |&kind| {
+                sim::run(params, sim::Adversary::PF, kind, false)
+                    .expect("cell runs")
+                    .to_string()
+            });
+            reports.join("\n")
+        }),
+    ];
+
+    for (name, surface) in surfaces {
+        let sequential = with_threads("1", surface);
+        assert_eq!(with_threads("1", parallel::thread_count), 1);
+        for threads in ["2", "3", "8"] {
+            let parallel_run = with_threads(threads, surface);
+            assert_eq!(
+                sequential, parallel_run,
+                "{name} diverged with PCB_THREADS={threads}"
+            );
+        }
+    }
+}

@@ -16,7 +16,7 @@ use crate::manager::{AllocRequest, HeapOps, MemoryManager};
 use crate::program::Program;
 
 /// Summary of a finished (or aborted) execution.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Program name.
     pub program: String,
@@ -77,6 +77,28 @@ impl Report {
             words_placed: stats.words_placed,
             words_moved: stats.words_moved,
         }
+    }
+}
+
+impl pcb_json::ToJson for Report {
+    fn to_json(&self) -> pcb_json::Json {
+        use pcb_json::Json;
+        Json::object([
+            ("program", Json::from(self.program.as_str())),
+            ("manager", Json::from(self.manager.as_str())),
+            ("c", Json::from(self.c)),
+            ("live_bound", Json::from(self.live_bound)),
+            ("heap_size", Json::from(self.heap_size)),
+            ("peak_live", Json::from(self.peak_live)),
+            ("waste_factor", Json::from(self.waste_factor)),
+            ("moved_fraction", Json::from(self.moved_fraction)),
+            ("rounds", Json::from(self.rounds)),
+            ("objects_placed", Json::from(self.objects_placed)),
+            ("objects_freed", Json::from(self.objects_freed)),
+            ("objects_moved", Json::from(self.objects_moved)),
+            ("words_placed", Json::from(self.words_placed)),
+            ("words_moved", Json::from(self.words_moved)),
+        ])
     }
 }
 
@@ -148,14 +170,19 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         (self.heap, self.program, self.manager)
     }
 
-    /// Runs rounds until the program finishes, without observation.
+    /// Runs rounds until the program finishes, without observation. No
+    /// observer is attached at all on this path: events are neither
+    /// constructed nor dispatched, so the per-tick cost is zero.
     ///
     /// # Errors
     ///
     /// Propagates the first [`ExecutionError`]; the execution state remains
     /// inspectable afterwards.
     pub fn run(&mut self) -> Result<Report, ExecutionError> {
-        self.run_observed(&mut NullObserver)
+        while !self.program.finished() && self.round < self.max_rounds {
+            self.step_round_inner(None)?;
+        }
+        Ok(self.report())
     }
 
     /// Runs rounds until the program finishes, reporting every event to
@@ -166,7 +193,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     /// Propagates the first [`ExecutionError`].
     pub fn run_observed(&mut self, observer: &mut dyn Observer) -> Result<Report, ExecutionError> {
         while !self.program.finished() && self.round < self.max_rounds {
-            self.step_round(observer)?;
+            self.step_round_inner(Some(observer))?;
         }
         Ok(self.report())
     }
@@ -183,12 +210,17 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     /// Fails on bad frees, failed or conflicting placements, and live-bound
     /// violations.
     pub fn step_round(&mut self, observer: &mut dyn Observer) -> Result<(), ExecutionError> {
+        self.step_round_inner(Some(observer))
+    }
+
+    fn step_round_inner(
+        &mut self,
+        mut observer: Option<&mut dyn Observer>,
+    ) -> Result<(), ExecutionError> {
         self.heap.set_round(self.round);
-        Self::emit(
-            observer,
-            &mut self.tick,
-            Event::RoundStart { round: self.round },
-        );
+        Self::emit(&mut observer, &mut self.tick, || Event::RoundStart {
+            round: self.round,
+        });
 
         // Phase 1: de-allocation.
         for id in self.program.frees() {
@@ -197,7 +229,11 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
                 .free(id)
                 .map_err(|_| ExecutionError::BadFree(id))?;
             self.manager.note_free(id, addr, size);
-            Self::emit(observer, &mut self.tick, Event::Freed { id, addr, size });
+            Self::emit(&mut observer, &mut self.tick, || Event::Freed {
+                id,
+                addr,
+                size,
+            });
         }
 
         // Phases 2+3: compaction happens inside the manager's `place`, per
@@ -208,7 +244,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
                 let mut ops = HeapOps {
                     heap: &mut self.heap,
                     program: &mut self.program,
-                    observer,
+                    observer: observer.as_deref_mut(),
                     tick: &mut self.tick,
                 };
                 self.manager
@@ -221,7 +257,11 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             self.heap.place(id, addr, size)?;
             self.manager.note_place(id, addr, size);
             self.program.placed(id, addr, size);
-            Self::emit(observer, &mut self.tick, Event::Placed { id, addr, size });
+            Self::emit(&mut observer, &mut self.tick, || Event::Placed {
+                id,
+                addr,
+                size,
+            });
 
             let live = self.heap.live_words();
             let bound = self.program.live_bound();
@@ -230,18 +270,26 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             }
         }
 
-        Self::emit(
-            observer,
-            &mut self.tick,
-            Event::RoundEnd { round: self.round },
-        );
+        Self::emit(&mut observer, &mut self.tick, || Event::RoundEnd {
+            round: self.round,
+        });
         self.program.round_done();
         self.round += 1;
         Ok(())
     }
 
-    fn emit(observer: &mut dyn Observer, tick: &mut Tick, event: Event) {
-        observer.on_event(*tick, &event);
+    /// Dispatches an event if an observer is attached; the event is not
+    /// even constructed otherwise. The tick still advances so observed and
+    /// unobserved runs number events identically.
+    #[inline]
+    fn emit(
+        observer: &mut Option<&mut dyn Observer>,
+        tick: &mut Tick,
+        event: impl FnOnce() -> Event,
+    ) {
+        if let Some(obs) = observer {
+            obs.on_event(*tick, &event());
+        }
         *tick += 1;
     }
 }
@@ -268,7 +316,7 @@ mod tests {
         fn place(
             &mut self,
             req: AllocRequest,
-            _ops: &mut HeapOps<'_>,
+            _ops: &mut HeapOps<'_, '_>,
         ) -> Result<Addr, PlacementError> {
             let addr = Addr::new(self.top);
             self.top += req.size.get();
@@ -288,7 +336,7 @@ mod tests {
         fn place(
             &mut self,
             _req: AllocRequest,
-            _ops: &mut HeapOps<'_>,
+            _ops: &mut HeapOps<'_, '_>,
         ) -> Result<Addr, PlacementError> {
             Ok(Addr::ZERO)
         }
@@ -387,7 +435,7 @@ mod tests {
             fn place(
                 &mut self,
                 req: AllocRequest,
-                ops: &mut HeapOps<'_>,
+                ops: &mut HeapOps<'_, '_>,
             ) -> Result<Addr, PlacementError> {
                 if let Some((id, size)) = self.last {
                     if ops.heap().is_live(id)

@@ -28,7 +28,7 @@
 //! struct Bump(u64);
 //! impl MemoryManager for Bump {
 //!     fn name(&self) -> &str { "bump" }
-//!     fn place(&mut self, req: AllocRequest, _ops: &mut HeapOps<'_>)
+//!     fn place(&mut self, req: AllocRequest, _ops: &mut HeapOps<'_, '_>)
 //!         -> Result<Addr, PlacementError>
 //!     {
 //!         let a = Addr::new(self.0);

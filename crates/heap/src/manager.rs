@@ -69,14 +69,17 @@ impl From<HeapError> for PlacementError {
 /// The window through which a manager touches the heap while serving a
 /// request. Relocations are budget-checked and the program is notified of
 /// each move *immediately*, before the manager regains control.
-pub struct HeapOps<'a> {
+pub struct HeapOps<'a, 'o> {
     pub(crate) heap: &'a mut Heap,
     pub(crate) program: &'a mut dyn Program,
-    pub(crate) observer: &'a mut dyn Observer,
+    // The observer's trait-object lifetime `'o` outlives the per-request
+    // borrow `'a`, so the engine can reborrow its observer for each
+    // request instead of surrendering it for the whole round.
+    pub(crate) observer: Option<&'a mut (dyn Observer + 'o)>,
     pub(crate) tick: &'a mut Tick,
 }
 
-impl<'a> HeapOps<'a> {
+impl HeapOps<'_, '_> {
     /// Read-only view of the heap.
     pub fn heap(&self) -> &Heap {
         self.heap
@@ -127,12 +130,14 @@ impl<'a> HeapOps<'a> {
     }
 
     fn emit(&mut self, event: Event) {
-        self.observer.on_event(*self.tick, &event);
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_event(*self.tick, &event);
+        }
         *self.tick += 1;
     }
 }
 
-impl fmt::Debug for HeapOps<'_> {
+impl fmt::Debug for HeapOps<'_, '_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HeapOps")
             .field("tick", &self.tick)
@@ -156,7 +161,11 @@ pub trait MemoryManager {
     ///
     /// Returns [`PlacementError`] when the manager cannot serve the request
     /// (e.g. a bounded-arena manager that is out of space and budget).
-    fn place(&mut self, req: AllocRequest, ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError>;
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError>;
 
     /// Observes a program-initiated free (so the manager can recycle the
     /// space). Called for every free, including frees of objects the
@@ -184,7 +193,11 @@ impl MemoryManager for Box<dyn MemoryManager> {
         (**self).name()
     }
 
-    fn place(&mut self, req: AllocRequest, ops: &mut HeapOps<'_>) -> Result<Addr, PlacementError> {
+    fn place(
+        &mut self,
+        req: AllocRequest,
+        ops: &mut HeapOps<'_, '_>,
+    ) -> Result<Addr, PlacementError> {
         (**self).place(req, ops)
     }
 

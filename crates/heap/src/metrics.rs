@@ -7,7 +7,7 @@ use crate::event::{Event, Observer, Tick};
 use crate::heap::Heap;
 
 /// A snapshot of heap-shape statistics at a point in time.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FragmentationSnapshot {
     /// Live words.
     pub live_words: u64,
@@ -21,6 +21,23 @@ pub struct FragmentationSnapshot {
     pub current_span: u64,
     /// `1 - live/span`: fraction of the current span that is wasted.
     pub external_fragmentation: f64,
+}
+
+impl pcb_json::ToJson for FragmentationSnapshot {
+    fn to_json(&self) -> pcb_json::Json {
+        use pcb_json::Json;
+        Json::object([
+            ("live_words", Json::from(self.live_words)),
+            ("hole_words", Json::from(self.hole_words)),
+            ("hole_count", Json::from(self.hole_count)),
+            ("largest_hole", Json::from(self.largest_hole)),
+            ("current_span", Json::from(self.current_span)),
+            (
+                "external_fragmentation",
+                Json::from(self.external_fragmentation),
+            ),
+        ])
+    }
 }
 
 impl FragmentationSnapshot {

@@ -31,6 +31,9 @@ pub struct SpaceMap {
     /// start -> (extent, owner)
     intervals: BTreeMap<u64, (Extent, ObjectId)>,
     occupied_words: Size,
+    /// Cached `max end` over all intervals; the engine reads the frontier
+    /// on every frontier placement, so it must not cost a tree walk.
+    frontier: Addr,
 }
 
 impl SpaceMap {
@@ -80,22 +83,25 @@ impl SpaceMap {
     }
 
     /// All stored intervals overlapping `extent`, in address order.
-    pub fn overlapping(&self, extent: Extent) -> Vec<(Extent, ObjectId)> {
-        let mut out = Vec::new();
-        if let Some((_, &(prev, id))) = self.intervals.range(..=extent.start().get()).next_back() {
-            if prev.overlaps(extent) {
-                out.push((prev, id));
-            }
-        }
-        for (_, &(e, id)) in self
+    ///
+    /// Lazy: the analysis calls this once per chunk-density probe, so no
+    /// intermediate `Vec` is built.
+    pub fn overlapping(&self, extent: Extent) -> impl Iterator<Item = (Extent, ObjectId)> + '_ {
+        let prev = self
+            .intervals
+            .range(..=extent.start().get())
+            .next_back()
+            .map(|(_, &(e, id))| (e, id))
+            .filter(|&(e, _)| e.overlaps(extent));
+        // The predecessor may start exactly at `extent.start()`, in which
+        // case the in-range scan would report it again.
+        let prev_start = prev.map(|(e, _)| e.start());
+        let inside = self
             .intervals
             .range(extent.start().get()..extent.end().get())
-        {
-            if e.overlaps(extent) && out.last().map(|&(p, _)| p) != Some(e) {
-                out.push((e, id));
-            }
-        }
-        out
+            .map(|(_, &(e, id))| (e, id))
+            .filter(move |&(e, _)| e.overlaps(extent) && Some(e.start()) != prev_start);
+        prev.into_iter().chain(inside)
     }
 
     /// Marks `extent` as occupied by `owner`.
@@ -117,6 +123,7 @@ impl SpaceMap {
         }
         self.intervals.insert(extent.start().get(), (extent, owner));
         self.occupied_words += extent.size();
+        self.frontier = self.frontier.max(extent.end());
         Ok(())
     }
 
@@ -129,6 +136,16 @@ impl SpaceMap {
         match self.intervals.remove(&start.get()) {
             Some((extent, owner)) => {
                 self.occupied_words = self.occupied_words - extent.size();
+                if extent.end() == self.frontier {
+                    // Intervals are disjoint, so the highest start also has
+                    // the highest end.
+                    self.frontier = self
+                        .intervals
+                        .iter()
+                        .next_back()
+                        .map(|(_, &(e, _))| e.end())
+                        .unwrap_or(Addr::ZERO);
+                }
                 Ok((extent, owner))
             }
             None => Err(SpaceError::NotOccupied { addr: start }),
@@ -143,13 +160,10 @@ impl SpaceMap {
             .and_then(|(_, &(e, id))| e.contains(addr).then_some(id))
     }
 
-    /// One past the highest occupied word (0 when empty).
+    /// One past the highest occupied word (0 when empty). O(1): cached
+    /// across [`occupy`](Self::occupy)/[`release`](Self::release).
     pub fn frontier(&self) -> Addr {
-        self.intervals
-            .iter()
-            .next_back()
-            .map(|(_, &(e, _))| e.end())
-            .unwrap_or(Addr::ZERO)
+        self.frontier
     }
 
     /// The lowest occupied word, if any interval is stored.
@@ -176,7 +190,6 @@ impl SpaceMap {
     /// queries by the analysis).
     pub fn occupied_words_in(&self, window: Extent) -> Size {
         self.overlapping(window)
-            .into_iter()
             .map(|(e, _)| e.overlap_words(window))
             .sum()
     }
@@ -290,7 +303,7 @@ mod tests {
         m.occupy(id(1), Extent::from_raw(0, 4)).unwrap();
         m.occupy(id(2), Extent::from_raw(6, 4)).unwrap();
         m.occupy(id(3), Extent::from_raw(12, 4)).unwrap();
-        let hits = m.overlapping(Extent::from_raw(2, 12));
+        let hits: Vec<_> = m.overlapping(Extent::from_raw(2, 12)).collect();
         assert_eq!(
             hits.iter().map(|&(_, o)| o).collect::<Vec<_>>(),
             vec![id(1), id(2), id(3)]

@@ -8,7 +8,7 @@
 //! file, and a refactor that changes any placement shows up as a trace
 //! mismatch.
 
-use serde::{Deserialize, Serialize};
+use pcb_json::Json;
 
 use crate::addr::{Addr, Size};
 use crate::error::HeapError;
@@ -16,9 +16,9 @@ use crate::event::{Event, Observer, Tick};
 use crate::heap::Heap;
 use crate::object::ObjectId;
 
-/// One serialized event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+/// One serialized event. The JSON form is internally tagged as
+/// `{"kind": "<snake_case variant>", ...fields}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Round boundary (start).
     RoundStart {
@@ -72,6 +72,72 @@ impl From<&Event> for TraceEvent {
     }
 }
 
+impl TraceEvent {
+    fn to_json(self) -> Json {
+        match self {
+            TraceEvent::RoundStart { round } => Json::object([
+                ("kind", Json::from("round_start")),
+                ("round", Json::from(round)),
+            ]),
+            TraceEvent::RoundEnd { round } => Json::object([
+                ("kind", Json::from("round_end")),
+                ("round", Json::from(round)),
+            ]),
+            TraceEvent::Placed { id, addr, size } => Json::object([
+                ("kind", Json::from("placed")),
+                ("id", Json::from(id)),
+                ("addr", Json::from(addr)),
+                ("size", Json::from(size)),
+            ]),
+            TraceEvent::Freed { id } => {
+                Json::object([("kind", Json::from("freed")), ("id", Json::from(id))])
+            }
+            TraceEvent::Moved { id, to } => Json::object([
+                ("kind", Json::from("moved")),
+                ("id", Json::from(id)),
+                ("to", Json::from(to)),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "event missing string field `kind`".to_string())?;
+        let field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{kind}` event missing integer field `{name}`"))
+        };
+        let round = |name: &str| -> Result<u32, String> {
+            field(name).and_then(|v| {
+                u32::try_from(v).map_err(|_| format!("`{name}` out of range for u32"))
+            })
+        };
+        match kind {
+            "round_start" => Ok(TraceEvent::RoundStart {
+                round: round("round")?,
+            }),
+            "round_end" => Ok(TraceEvent::RoundEnd {
+                round: round("round")?,
+            }),
+            "placed" => Ok(TraceEvent::Placed {
+                id: field("id")?,
+                addr: field("addr")?,
+                size: field("size")?,
+            }),
+            "freed" => Ok(TraceEvent::Freed { id: field("id")? }),
+            "moved" => Ok(TraceEvent::Moved {
+                id: field("id")?,
+                to: field("to")?,
+            }),
+            other => Err(format!("unknown event kind `{other}`")),
+        }
+    }
+}
+
 /// A recorded execution.
 ///
 /// ```
@@ -84,7 +150,7 @@ impl From<&Event> for TraceEvent {
 /// let back = Trace::from_json(&t.to_json()).unwrap();
 /// assert_eq!(t, back);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// The compaction bound the run was recorded under (`u64::MAX` for
     /// non-moving, 0 for unlimited).
@@ -149,12 +215,15 @@ impl Trace {
     }
 
     /// Serializes to JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics in practice (the type is plain data).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace is plain data")
+        Json::object([
+            ("c", Json::from(self.c)),
+            (
+                "events",
+                Json::array(self.events.iter().map(|e| e.to_json())),
+            ),
+        ])
+        .to_string()
     }
 
     /// Deserializes from JSON.
@@ -163,7 +232,19 @@ impl Trace {
     ///
     /// Returns the underlying parse error message.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        let value = Json::parse(json).map_err(|e| e.to_string())?;
+        let c = value
+            .get("c")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "trace missing integer field `c`".to_string())?;
+        let events = value
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "trace missing array field `events`".to_string())?
+            .iter()
+            .map(TraceEvent::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { c, events })
     }
 }
 
@@ -210,7 +291,7 @@ mod tests {
         fn place(
             &mut self,
             req: AllocRequest,
-            _ops: &mut HeapOps<'_>,
+            _ops: &mut HeapOps<'_, '_>,
         ) -> Result<Addr, PlacementError> {
             let a = Addr::new(self.0);
             self.0 += req.size.get();

@@ -55,6 +55,67 @@ proptest! {
     }
 
     #[test]
+    fn overlap_queries_match_naive_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        probes in proptest::collection::vec((0u64..450, 1u64..40), 1..12),
+    ) {
+        let mut map = SpaceMap::new();
+        let mut stored: Vec<(u64, u64, u64)> = Vec::new(); // (start, len, id)
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Occupy { start, len } => {
+                    let id = ObjectId::from_raw(next_id);
+                    next_id += 1;
+                    if map.occupy(id, Extent::from_raw(start, len)).is_ok() {
+                        stored.push((start, len, id.get()));
+                        stored.sort_unstable();
+                    }
+                }
+                Op::Release { pick } => {
+                    if stored.is_empty() { continue; }
+                    let (start, _, _) = stored.remove(pick % stored.len());
+                    map.release(Addr::new(start)).unwrap();
+                }
+            }
+            // Frontier: one past the highest occupied word (cached in the
+            // map, recomputed here).
+            let frontier = stored.iter().map(|&(s, l, _)| s + l).max().unwrap_or(0);
+            prop_assert_eq!(map.frontier().get(), frontier);
+            // Gaps: strictly-between free ranges from the sorted intervals.
+            let naive_gaps: Vec<(u64, u64)> = stored
+                .windows(2)
+                .filter(|w| w[0].0 + w[0].1 < w[1].0)
+                .map(|w| (w[0].0 + w[0].1, w[1].0 - (w[0].0 + w[0].1)))
+                .collect();
+            let gaps: Vec<(u64, u64)> = map
+                .gaps()
+                .map(|g| (g.start().get(), g.size().get()))
+                .collect();
+            prop_assert_eq!(gaps, naive_gaps);
+            // Overlap probes against a brute-force interval scan.
+            for &(probe_start, probe_len) in &probes {
+                let window = Extent::from_raw(probe_start, probe_len);
+                let naive: Vec<(u64, u64, u64)> = stored
+                    .iter()
+                    .copied()
+                    .filter(|&(s, l, _)| s < probe_start + probe_len && s + l > probe_start)
+                    .collect();
+                let got: Vec<(u64, u64, u64)> = map
+                    .overlapping(window)
+                    .map(|(e, id)| (e.start().get(), e.size().get(), id.get()))
+                    .collect();
+                prop_assert_eq!(&got, &naive, "window [{}, {})", probe_start, probe_start + probe_len);
+                let naive_words: u64 = naive
+                    .iter()
+                    .map(|&(s, l, _)| (s + l).min(probe_start + probe_len) - s.max(probe_start))
+                    .sum();
+                prop_assert_eq!(map.occupied_words_in(window).get(), naive_words);
+            }
+        }
+    }
+
+    #[test]
     fn budget_ledger_is_exact(
         c in 2u64..64,
         events in proptest::collection::vec((any::<bool>(), 1u64..1000), 1..200),

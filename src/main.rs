@@ -150,21 +150,26 @@ fn cmd_figure(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn print_csv<T: serde::Serialize>(rows: &[T]) {
+fn print_csv<T: pcb_json::ToJson>(rows: &[T]) {
     let mut header_done = false;
     for row in rows {
-        let value = serde_json::to_value(row).expect("plain data");
-        let obj = value.as_object().expect("rows are structs");
+        let value = row.to_json();
+        let pcb_json::Json::Object(obj) = &value else {
+            panic!("rows serialize to objects");
+        };
         if !header_done {
-            println!("{}", obj.keys().cloned().collect::<Vec<_>>().join(","));
+            println!(
+                "{}",
+                obj.keys().map(String::as_str).collect::<Vec<_>>().join(",")
+            );
             header_done = true;
         }
         println!(
             "{}",
             obj.values()
                 .map(|v| match v {
-                    serde_json::Value::String(s) => s.clone(),
-                    serde_json::Value::Null => String::new(),
+                    pcb_json::Json::Str(s) => s.clone(),
+                    pcb_json::Json::Null => String::new(),
                     other => other.to_string(),
                 })
                 .collect::<Vec<_>>()

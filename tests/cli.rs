@@ -84,7 +84,14 @@ fn record_then_replay_round_trips() {
     let path = dir.join("trace.json");
     let path_str = path.to_str().unwrap();
     let (stdout, _, ok) = pcb(&[
-        "record", path_str, "--program", "robson", "--m", "4096", "--log-n", "6",
+        "record",
+        path_str,
+        "--program",
+        "robson",
+        "--m",
+        "4096",
+        "--log-n",
+        "6",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("trace:"));

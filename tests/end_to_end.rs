@@ -75,7 +75,7 @@ fn robson_certifies_his_bound_for_non_moving_managers() {
 fn reports_serialize_to_json() {
     let params = Params::new(1 << 12, 8, 10).expect("valid");
     let report = sim::run(params, sim::Adversary::PF, ManagerKind::Buddy, false).expect("runs");
-    let json = serde_json::to_string(&report).expect("serializable");
+    let json = pcb_json::ToJson::to_json(&report).to_string();
     assert!(json.contains("\"waste_over_bound\""));
     assert!(json.contains("\"manager\":\"buddy\""));
 }

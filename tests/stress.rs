@@ -12,7 +12,6 @@ use partial_compaction::{bounds, sim, ManagerKind, Params};
 #[ignore = "heavy: ~1 minute in release mode"]
 fn large_scale_lower_bound_certification() {
     let params = Params::new(1 << 18, 12, 50).expect("valid");
-    let h = bounds::thm1::factor(params);
     for kind in ManagerKind::ALL {
         let report = sim::run(params, sim::Adversary::PF, kind, true)
             .unwrap_or_else(|e| panic!("{kind}: {e}"));

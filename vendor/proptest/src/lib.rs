@@ -1,0 +1,452 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace aliases
+//! `proptest = { path = "vendor/proptest", package = "pcb-proptest" }`.
+//! This crate implements the slice of the real API that the workspace's
+//! property tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), range/tuple/`Just`/`prop_map`/
+//! [`collection::vec`]/[`prop_oneof!`] strategies, `any::<bool>()`, and the
+//! `prop_assert*` family returning [`TestCaseError`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - no shrinking: a failing case reports its generated inputs via `Debug`
+//!   and panics, it is not minimized;
+//! - generation is a fixed-seed xoshiro-style stream, so runs are fully
+//!   deterministic (the real crate randomizes unless given a seed).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator handed to strategies. SplitMix64-based.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Builds a generator for one test case; `test_seed` identifies the
+    /// test, `case` the case index, so every case sees a distinct stream.
+    pub fn for_case(test_seed: u64, case: u64) -> Self {
+        Gen {
+            state: test_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Error type carried by `prop_assert*` and fallible test bodies.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed with the given message.
+    Fail(String),
+    /// The case asked to be discarded (unused here, kept for parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any displayable value (commonly used as
+    /// `.map_err(TestCaseError::fail)?`).
+    pub fn fail<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of one type. Object-safe; combinators that need
+/// `Self: Sized` are provided methods.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, gen: &mut Gen) -> T {
+        (**self).generate(gen)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, gen: &mut Gen) -> S::Value {
+        (**self).generate(gen)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, gen: &mut Gen) -> U {
+        (self.f)(self.inner.generate(gen))
+    }
+}
+
+/// Uniform choice between boxed strategies ([`prop_oneof!`] backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, gen: &mut Gen) -> T {
+        let pick = gen.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(gen)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + gen.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + gen.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(gen),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for `bool`: fair coin.
+#[derive(Debug, Clone)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, gen: &mut Gen) -> bool {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{fmt, Gen, Range, Strategy};
+
+    /// Strategy producing `Vec`s with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + gen.below(span) as usize;
+            (0..n).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Runner internals used by the [`proptest!`] expansion.
+pub mod test_runner {
+    pub use crate::{Gen, ProptestConfig, TestCaseError};
+
+    /// FNV-1a hash of the test name; stable seed per test across runs.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure returns a
+/// [`TestCaseError`] (carrying the formatted message) from the enclosing
+/// case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} != {:?})", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines property tests. Supports the subset of the real macro's
+/// grammar used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))] // optional
+///     #[test]
+///     fn my_prop(x in 0u64..10, v in collection::vec(0u32..4, 1..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Bodies may use `?` with [`TestCaseError`] and `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let strategy = ($($strategy,)+);
+            for case in 0..cfg.cases {
+                let mut gen = $crate::Gen::for_case(seed, case as u64);
+                let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut gen);
+                let debug_args = format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, cfg.cases, e, debug_args
+                    );
+                }
+            }
+        }
+    )*};
+    // A `@cfg` input reaching this arm means the test grammar above did
+    // not match; fail loudly instead of recursing forever.
+    (@cfg $($rest:tt)*) => {
+        ::core::compile_error!(
+            "proptest!: unsupported grammar (arguments must be `ident in strategy`)"
+        );
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3u64..17, ab in (0u32..4, 0usize..5)) {
+            prop_assert!((3..17).contains(&x));
+            let (a, b) = ab;
+            prop_assert!(a < 4 && b < 5);
+        }
+
+        #[test]
+        fn vec_and_oneof(
+            v in crate::collection::vec((0u64..32, 1u64..16), 1..24),
+            pick in prop_oneof![Just(10u64), Just(20), Just(40)],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 24);
+            prop_assert!(pick == 10 || pick == 20 || pick == 40);
+            let _ = flag;
+            for &(a, b) in &v {
+                prop_assert!(a < 32 && (1..16).contains(&b));
+            }
+        }
+
+        #[test]
+        fn map_and_question_mark(n in 1u64..100) {
+            let doubled = (1u64..2).prop_map(move |_| n * 2).generate_check()?;
+            prop_assert_eq!(doubled, n * 2);
+        }
+    }
+
+    trait GenerateCheck: Strategy + Sized {
+        fn generate_check(self) -> Result<Self::Value, TestCaseError> {
+            let mut gen = crate::Gen::for_case(1, 1);
+            Ok(self.generate(&mut gen))
+        }
+    }
+    impl<S: Strategy + Sized> GenerateCheck for S {}
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = (0u64..1000, crate::collection::vec(0u32..7, 1..5));
+        let mut g1 = crate::Gen::for_case(99, 3);
+        let mut g2 = crate::Gen::for_case(99, 3);
+        assert_eq!(strat.generate(&mut g1), strat.generate(&mut g2));
+    }
+}
