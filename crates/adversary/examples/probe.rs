@@ -3,7 +3,7 @@
 
 use pcb_adversary::{optimal_rho, PfConfig, PfProgram};
 use pcb_alloc::ManagerKind;
-use pcb_heap::{Execution, Heap};
+use pcb_heap::{Execution, Heap, Params};
 
 fn main() {
     let (m, log_n) = (1u64 << 16, 12u32);
@@ -17,7 +17,8 @@ fn main() {
             let cfg = PfConfig::new(m, log_n, c).unwrap().with_validation();
             let program = PfProgram::new(cfg);
             let heap = Heap::new(c);
-            let mut exec = Execution::new(heap, program, kind.build(c, m, log_n));
+            let params = Params::new(m, log_n, c).unwrap();
+            let mut exec = Execution::new(heap, program, kind.build(&params));
             match exec.run() {
                 Ok(report) => {
                     let viol = exec.program().violations().len();

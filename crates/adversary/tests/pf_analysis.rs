@@ -3,7 +3,7 @@
 
 use pcb_adversary::{optimal_rho, PfConfig, PfProgram, PfVariant, RobsonProgram};
 use pcb_alloc::ManagerKind;
-use pcb_heap::{Execution, Heap, Program, Report};
+use pcb_heap::{Execution, Heap, Params, Program, Report};
 
 const M: u64 = 1 << 14;
 const LOG_N: u32 = 10;
@@ -13,7 +13,11 @@ fn run_pf(kind: ManagerKind, c: u64, variant: PfVariant) -> (Report, PfProgram) 
         .expect("feasible")
         .with_variant(variant)
         .with_validation();
-    let mut exec = Execution::new(Heap::new(c), PfProgram::new(cfg), kind.build(c, M, LOG_N));
+    let mut exec = Execution::new(
+        Heap::new(c),
+        PfProgram::new(cfg),
+        kind.build(&Params::new(M, LOG_N, c).expect("valid")),
+    );
     let report = exec.run().expect("P_F runs to completion");
     let (_, program, _) = exec.into_parts();
     (report, program)
@@ -84,7 +88,7 @@ fn lemma_4_5_stage_one_potential() {
     let mut exec = Execution::new(
         Heap::new(c),
         PfProgram::new(cfg),
-        ManagerKind::FirstFit.build(c, M, LOG_N),
+        ManagerKind::FirstFit.build(&Params::new(M, LOG_N, c).expect("valid")),
     );
     let mut obs = pcb_heap::NullObserver;
     // Rounds 0..=2ρ−1 are stage I; round 2ρ starts stage II. Run through
@@ -160,7 +164,11 @@ fn robson_program_beats_its_bound_on_every_non_moving_manager() {
     let bound = RobsonProgram::robson_lower_bound(m, log_n);
     for kind in ManagerKind::NON_MOVING {
         let program = RobsonProgram::new(m, log_n);
-        let mut exec = Execution::new(Heap::non_moving(), program, kind.build(10, m, log_n));
+        let mut exec = Execution::new(
+            Heap::non_moving(),
+            program,
+            kind.build(&Params::new(m, log_n, 10).expect("valid")),
+        );
         let report = exec.run().expect("P_R runs");
         assert!(
             report.heap_size as f64 >= bound,
@@ -179,7 +187,7 @@ fn association_invariants_hold_at_every_step() {
     let mut exec = Execution::new(
         Heap::new(c),
         PfProgram::new(cfg),
-        ManagerKind::CompactingBp11.build(c, M, LOG_N),
+        ManagerKind::CompactingBp11.build(&Params::new(M, LOG_N, c).expect("valid")),
     );
     let mut obs = pcb_heap::NullObserver;
     let mut last_u: i128 = i128::MIN;
@@ -229,7 +237,7 @@ fn claim_4_8_stage_one_mirrors_robsons_program_without_compaction() {
     let mut exec = Execution::new(
         Heap::non_moving(),
         PfProgram::new(cfg),
-        ManagerKind::FirstFit.build(c, M, LOG_N),
+        ManagerKind::FirstFit.build(&Params::new(M, LOG_N, c).expect("valid")),
     );
     // Run only stage I (rounds 0..=rho).
     for _ in 0..=rho {
@@ -240,7 +248,7 @@ fn claim_4_8_stage_one_mirrors_robsons_program_without_compaction() {
     let mut exec_pr = Execution::new(
         Heap::non_moving(),
         RobsonProgram::new(M, LOG_N),
-        ManagerKind::FirstFit.build(c, M, LOG_N),
+        ManagerKind::FirstFit.build(&Params::new(M, LOG_N, c).expect("valid")),
     );
     for _ in 0..=rho {
         exec_pr.step_round(&mut rec_pr).unwrap();
@@ -263,7 +271,11 @@ fn lemma_4_6_potential_growth_in_stage_two() {
         let c = 20u64;
         let cfg = PfConfig::new(M, LOG_N, c).unwrap().with_validation();
         let rho = cfg.rho;
-        let mut exec = Execution::new(Heap::new(c), PfProgram::new(cfg), kind.build(c, M, LOG_N));
+        let mut exec = Execution::new(
+            Heap::new(c),
+            PfProgram::new(cfg),
+            kind.build(&Params::new(M, LOG_N, c).expect("valid")),
+        );
         let mut obs = pcb_heap::NullObserver;
         let mut u_first: Option<i128> = None;
         while !exec.program().finished() {
@@ -306,7 +318,7 @@ fn stage_two_allocation_is_regimented_to_x_m_words_per_step() {
     let mut exec = Execution::new(
         Heap::new(c),
         PfProgram::new(cfg),
-        ManagerKind::FirstFit.build(c, M, LOG_N),
+        ManagerKind::FirstFit.build(&Params::new(M, LOG_N, c).expect("valid")),
     );
     let mut obs = pcb_heap::NullObserver;
     let mut prev_s2 = 0u64;

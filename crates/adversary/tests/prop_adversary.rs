@@ -97,7 +97,7 @@ proptest! {
         let mut exec = Execution::new(
             Heap::new(c),
             PfProgram::new(cfg),
-            kind.build(c, m, log_n),
+            kind.build(&pcb_heap::Params::new(m, log_n, c).expect("valid")),
         );
         let report = exec.run().map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
         prop_assert!(

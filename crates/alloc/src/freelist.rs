@@ -48,6 +48,22 @@ impl FitPolicy {
     }
 }
 
+/// Cost and shape statistics for a single traced take.
+///
+/// Produced by [`FreeSpace::take_traced`]/[`FreeSpace::take_next_fit_traced`]
+/// so managers can report placement effort without altering any placement
+/// decision (the traced variants choose exactly the same addresses as the
+/// untraced ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakeStats {
+    /// Index probes performed while choosing the gap: size-class range
+    /// probes for first/best/worst fit, gaps examined for next-fit.
+    pub probes: u64,
+    /// Length of the gap the placement was carved from, or `None` when
+    /// the request was served from the frontier.
+    pub gap_len: Option<u64>,
+}
+
 /// Free-space index with coalescing and an unbounded frontier.
 ///
 /// ```
@@ -173,6 +189,36 @@ impl FreeSpace {
         }
     }
 
+    /// Like [`take`](Self::take), but also reports how many index probes
+    /// the policy performed and the size of the gap it carved from.
+    /// Chooses exactly the same address as [`take`](Self::take).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take_traced(&mut self, size: Size, policy: FitPolicy) -> (Addr, TakeStats) {
+        assert!(!size.is_zero(), "cannot take zero words");
+        let s = size.get();
+        let (pick, probes) = match policy {
+            FitPolicy::FirstFit | FitPolicy::NextFit => self.pick_first_traced(s),
+            FitPolicy::BestFit => (self.pick_best(s), 1),
+            FitPolicy::WorstFit => (self.pick_worst(s), 2),
+        };
+        match pick {
+            Some(start) => {
+                let gap_len = self.by_addr.get(&start).copied();
+                (self.carve(start, s), TakeStats { probes, gap_len })
+            }
+            None => (
+                self.take_frontier(s),
+                TakeStats {
+                    probes,
+                    gap_len: None,
+                },
+            ),
+        }
+    }
+
     /// Like [`take`](Self::take), but fails instead of letting the frontier
     /// pass `limit` (for arena-bounded managers). Interior gaps are always
     /// acceptable since they lie below the frontier.
@@ -229,6 +275,49 @@ impl FreeSpace {
         };
         *cursor = addr + size;
         addr
+    }
+
+    /// Like [`take_next_fit`](Self::take_next_fit), but also reports how
+    /// many gaps were examined and the size of the gap carved from.
+    /// Chooses exactly the same address and cursor update.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take_next_fit_traced(&mut self, size: Size, cursor: &mut Addr) -> (Addr, TakeStats) {
+        assert!(!size.is_zero(), "cannot take zero words");
+        let s = size.get();
+        let from = cursor.get();
+        let mut probes = 1u64; // the any-fits pre-check
+        let any_fits = self.by_len.range((s, 0)..).next().is_some();
+        let mut found = None;
+        if any_fits {
+            for (&start, &len) in self.by_addr.range(from..) {
+                probes += 1;
+                if len >= s {
+                    found = Some(start);
+                    break;
+                }
+            }
+            if found.is_none() {
+                for (&start, &len) in self.by_addr.range(..from) {
+                    probes += 1;
+                    if len >= s {
+                        found = Some(start);
+                        break;
+                    }
+                }
+            }
+        }
+        let (addr, gap_len) = match found {
+            Some(start) => {
+                let gap_len = self.by_addr.get(&start).copied();
+                (self.carve(start, s), gap_len)
+            }
+            None => (self.take_frontier(s), None),
+        };
+        *cursor = addr + size;
+        (addr, TakeStats { probes, gap_len })
     }
 
     /// Claims `size` words at the lowest address that is a multiple of
@@ -325,6 +414,28 @@ impl FreeSpace {
             }
         }
         best
+    }
+
+    /// [`pick_first`](Self::pick_first) plus the number of size-class range
+    /// probes it issued (including the final empty one).
+    fn pick_first_traced(&self, size: u64) -> (Option<u64>, u64) {
+        let mut best: Option<u64> = None;
+        let mut probes = 0u64;
+        let mut from = size;
+        loop {
+            probes += 1;
+            match self.by_len.range((from, 0)..).next() {
+                Some(&(len, start)) => {
+                    best = Some(best.map_or(start, |b| b.min(start)));
+                    match len.checked_add(1) {
+                        Some(next) => from = next,
+                        None => break,
+                    }
+                }
+                None => break,
+            }
+        }
+        (best, probes)
     }
 
     fn pick_best(&self, size: u64) -> Option<u64> {
@@ -593,6 +704,47 @@ mod tests {
         assert_eq!(fs.frontier(), Addr::ZERO);
         assert_eq!(fs.gap_count(), 0);
         assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(0));
+    }
+
+    #[test]
+    fn traced_takes_match_untraced_choices() {
+        for policy in FitPolicy::ALL {
+            let mut plain = fs_with_holes();
+            let mut traced = fs_with_holes();
+            let mut plain_cursor = Addr::new(10);
+            let mut traced_cursor = Addr::new(10);
+            for step in 0..6u64 {
+                let size = Size::new(2 + step % 5);
+                let (a, b) = if policy == FitPolicy::NextFit {
+                    let a = plain.take_next_fit(size, &mut plain_cursor);
+                    let (b, t) = traced.take_next_fit_traced(size, &mut traced_cursor);
+                    assert!(t.probes >= 1);
+                    (a, b)
+                } else {
+                    let a = plain.take(size, policy);
+                    let (b, t) = traced.take_traced(size, policy);
+                    assert!(t.probes >= 1);
+                    if let Some(len) = t.gap_len {
+                        assert!(len >= size.get());
+                    }
+                    (a, b)
+                };
+                assert_eq!(a, b, "{policy:?} step {step}");
+            }
+            assert_eq!(plain_cursor, traced_cursor);
+            traced.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn traced_take_reports_gap_and_frontier() {
+        let mut fs = fs_with_holes();
+        let (addr, t) = fs.take_traced(Size::new(4), FitPolicy::FirstFit);
+        assert_eq!(addr, Addr::new(4));
+        assert_eq!(t.gap_len, Some(4));
+        let (addr, t) = fs.take_traced(Size::new(11), FitPolicy::FirstFit);
+        assert_eq!(addr, Addr::new(40), "frontier serve");
+        assert_eq!(t.gap_len, None);
     }
 
     #[test]

@@ -18,14 +18,14 @@
 //!
 //! ```
 //! use pcb_alloc::ManagerKind;
-//! use pcb_heap::{Execution, Heap, ScriptedProgram, Size};
+//! use pcb_heap::{Execution, Heap, Params, ScriptedProgram, Size};
 //!
 //! let program = ScriptedProgram::new(Size::new(64)).round([], [8, 8]);
-//! let manager = ManagerKind::CompactingBp11.build(10, 64, 6);
+//! let manager = ManagerKind::CompactingBp11.build(&Params::new(64, 5, 10)?);
 //! let mut exec = Execution::new(Heap::new(10), program, manager);
 //! let report = exec.run()?;
 //! assert_eq!(report.heap_size, 16);
-//! # Ok::<(), pcb_heap::ExecutionError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -44,7 +44,7 @@ mod tlsf;
 
 pub use buddy::{BuddyAllocator, BuddySelect};
 pub use compacting::CompactingManager;
-pub use freelist::{FitPolicy, FreeSpace};
+pub use freelist::{FitPolicy, FreeSpace, TakeStats};
 pub use full_compact::FullCompactor;
 pub use pages::{PageManager, SLOTS_PER_PAGE};
 pub use policy::FreeListManager;

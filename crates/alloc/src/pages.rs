@@ -364,21 +364,28 @@ impl MemoryManager for PageManager {
                 req.size, self.max_order
             )));
         }
+        ops.stat_add("pages.placements", 1);
+        ops.stat_record("alloc.size", req.size.get());
         if let Some(addr) = self.place_in_open(k, req.id) {
+            ops.stat_add("pages.open_serves", 1);
             return Ok(addr);
         }
         // No open page: evacuate sparse pages until the pool can host the
         // needed page (or nothing more can be evacuated), then grow from
         // the (possibly replenished) pool.
+        let before = self.evictions;
         while self.classes[k as usize].open.is_empty()
             && !self.pool_has_room(k)
             && self.evict_one(ops)?
         {}
+        ops.stat_add("pages.evictions", self.evictions - before);
         if let Some(addr) = self.place_in_open(k, req.id) {
+            ops.stat_add("pages.open_serves", 1);
             return Ok(addr);
         }
         let base = self.acquire_page(k);
         self.install_page(k, base);
+        ops.stat_add("pages.new_pages", 1);
         Ok(self
             .place_in_open(k, req.id)
             .expect("fresh page has free slots"))

@@ -52,12 +52,32 @@ impl MemoryManager for FreeListManager {
     fn place(
         &mut self,
         req: AllocRequest,
-        _ops: &mut HeapOps<'_, '_>,
+        ops: &mut HeapOps<'_, '_>,
     ) -> Result<Addr, PlacementError> {
-        let addr = match self.policy {
-            FitPolicy::NextFit => self.space.take_next_fit(req.size, &mut self.cursor),
-            p => self.space.take(req.size, p),
+        // The traced takes pick identical addresses; they only add probe
+        // accounting, so the placement sequence is byte-for-byte the same
+        // whether or not stats are being collected.
+        if !ops.stats_enabled() {
+            let addr = match self.policy {
+                FitPolicy::NextFit => self.space.take_next_fit(req.size, &mut self.cursor),
+                p => self.space.take(req.size, p),
+            };
+            return Ok(addr);
+        }
+        let (addr, taken) = match self.policy {
+            FitPolicy::NextFit => self.space.take_next_fit_traced(req.size, &mut self.cursor),
+            p => self.space.take_traced(req.size, p),
         };
+        ops.stat_add("freelist.placements", 1);
+        ops.stat_record("freelist.probes", taken.probes);
+        ops.stat_record("alloc.size", req.size.get());
+        match taken.gap_len {
+            Some(len) => {
+                ops.stat_add("freelist.gap_serves", 1);
+                ops.stat_record("freelist.hole_size", len);
+            }
+            None => ops.stat_add("freelist.frontier_serves", 1),
+        }
         Ok(addr)
     }
 

@@ -4,7 +4,7 @@
 use core::fmt;
 use std::str::FromStr;
 
-use pcb_heap::MemoryManager;
+use pcb_heap::{MemoryManager, Params};
 
 use crate::buddy::{BuddyAllocator, BuddySelect};
 use crate::compacting::CompactingManager;
@@ -122,9 +122,9 @@ impl ManagerKind {
         matches!(self, ManagerKind::FullCompaction)
     }
 
-    /// Instantiates the manager for the experiment parameters: compaction
-    /// bound `c`, live bound `m` (words), and max object size `2^log_n`.
-    pub fn build(self, c: u64, m: u64, log_n: u32) -> Box<dyn MemoryManager> {
+    /// Instantiates the manager for the experiment parameters `(M, n, c)`.
+    pub fn build(self, params: &Params) -> Box<dyn MemoryManager> {
+        let (c, m, log_n) = (params.c(), params.m(), params.log_n());
         match self {
             ManagerKind::FirstFit => Box::new(FreeListManager::new(FitPolicy::FirstFit)),
             ManagerKind::BestFit => Box::new(FreeListManager::new(FitPolicy::BestFit)),
@@ -201,7 +201,8 @@ mod tests {
             } else {
                 Heap::non_moving()
             };
-            let mut exec = Execution::new(heap, program, kind.build(10, 256, 8));
+            let params = Params::new(256, 6, 10).unwrap();
+            let mut exec = Execution::new(heap, program, kind.build(&params));
             let report = exec.run().unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert_eq!(report.manager, kind.name());
             assert_eq!(report.objects_placed, 9, "{kind}");
@@ -215,7 +216,8 @@ mod tests {
             let program = ScriptedProgram::new(Size::new(64))
                 .round([], [4, 4, 4])
                 .round([1], [2]);
-            let mut exec = Execution::new(Heap::non_moving(), program, kind.build(10, 64, 6));
+            let params = Params::new(64, 5, 10).unwrap();
+            let mut exec = Execution::new(Heap::non_moving(), program, kind.build(&params));
             let report = exec.run().unwrap();
             assert_eq!(report.objects_moved, 0, "{kind}");
         }

@@ -123,6 +123,26 @@ impl TlsfManager {
             .filter(|&(_, len)| len >= size)
     }
 
+    /// [`find_block`](Self::find_block) plus the number of bucket slots
+    /// the bitmap scan examined (the classic implementation's two
+    /// find-first-set instructions become a linear bitmap walk here, so
+    /// the count is the honest cost of the lookup). Chooses exactly the
+    /// same block.
+    fn find_block_traced(&self, size: u64) -> (Option<(u64, u64)>, u64) {
+        let (fl, sl) = Self::search_mapping(size);
+        let from = Self::bucket_index(fl, sl);
+        match self.nonempty[from..].iter().position(|&ne| ne) {
+            Some(off) => {
+                let found = self.buckets[from + off]
+                    .first()
+                    .copied()
+                    .filter(|&(_, len)| len >= size);
+                (found, off as u64 + 1)
+            }
+            None => (None, (self.nonempty.len() - from) as u64),
+        }
+    }
+
     /// Total free words indexed (diagnostics).
     pub fn indexed_free_words(&self) -> u64 {
         self.buckets
@@ -154,11 +174,25 @@ impl MemoryManager for TlsfManager {
     fn place(
         &mut self,
         req: AllocRequest,
-        _ops: &mut HeapOps<'_, '_>,
+        ops: &mut HeapOps<'_, '_>,
     ) -> Result<Addr, PlacementError> {
         let size = req.size.get();
-        match self.find_block(size) {
+        let stats = ops.stats_enabled();
+        let found = if stats {
+            let (found, probes) = self.find_block_traced(size);
+            ops.stat_add("tlsf.placements", 1);
+            ops.stat_record("tlsf.probes", probes);
+            ops.stat_record("alloc.size", size);
+            found
+        } else {
+            self.find_block(size)
+        };
+        match found {
             Some((start, len)) => {
+                if stats {
+                    ops.stat_add("tlsf.good_fit_serves", 1);
+                    ops.stat_record("tlsf.hole_size", len);
+                }
                 self.remove_block(start, len);
                 let taken = self.mirror.take_exact(Addr::new(start), req.size);
                 debug_assert!(taken, "mirror agrees with the index");
@@ -168,6 +202,9 @@ impl MemoryManager for TlsfManager {
                 Ok(Addr::new(start))
             }
             None => {
+                if stats {
+                    ops.stat_add("tlsf.frontier_serves", 1);
+                }
                 // Good-fit found nothing (a block one bucket down may
                 // still have fit — that miss is TLSF's documented trade
                 // for O(1) lookup): grow strictly at the frontier so the

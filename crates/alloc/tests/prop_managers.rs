@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use pcb_alloc::{FitPolicy, FreeSpace, ManagerKind};
-use pcb_heap::{Addr, Execution, Heap, Size};
+use pcb_heap::{Addr, Execution, Heap, Params, Size};
 
 /// A random but well-formed script: each round allocates sizes in
 /// `[1, 2^log_n]` and frees a random subset of what is live, keeping total
@@ -58,7 +58,7 @@ proptest! {
         for kind in ManagerKind::ALL {
             let program = random_script(&rounds, live_bound);
             let heap = if kind.is_compacting() { Heap::new(8) } else { Heap::non_moving() };
-            let mut exec = Execution::new(heap, program, kind.build(8, live_bound, 6));
+            let mut exec = Execution::new(heap, program, kind.build(&Params::new(live_bound, 6, 8).unwrap()));
             let report = exec.run().map_err(|e| {
                 TestCaseError::fail(format!("{kind}: {e}"))
             })?;

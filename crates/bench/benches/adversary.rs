@@ -10,7 +10,10 @@ fn main() {
     let pf_params = Params::new(1 << 14, 10, 20).expect("valid");
     for kind in ManagerKind::ALL {
         bench(&format!("pf/{}", kind.name()), 5, || {
-            let report = sim::run(pf_params, sim::Adversary::PF, kind, false).expect("P_F runs");
+            let report = sim::Sim::new(pf_params)
+                .manager(kind)
+                .run()
+                .expect("P_F runs");
             assert!(report.waste_over_bound >= 0.9);
             black_box(report)
         });
@@ -19,8 +22,11 @@ fn main() {
     let robson_params = Params::new(1 << 12, 6, 10).expect("valid");
     for kind in [ManagerKind::FirstFit, ManagerKind::Robson] {
         bench(&format!("robson/{}", kind.name()), 5, || {
-            let report =
-                sim::run(robson_params, sim::Adversary::Robson, kind, false).expect("P_R runs");
+            let report = sim::Sim::new(robson_params)
+                .adversary(sim::Adversary::Robson)
+                .manager(kind)
+                .run()
+                .expect("P_R runs");
             assert!(report.waste_over_bound >= 1.0);
             black_box(report)
         });
@@ -29,13 +35,11 @@ fn main() {
     for (name, variant) in [("full", PfVariant::FULL), ("baseline", PfVariant::BASELINE)] {
         bench(&format!("ablation/{name}"), 5, || {
             black_box(
-                sim::run(
-                    pf_params,
-                    sim::Adversary::Pf(variant),
-                    ManagerKind::FirstFit,
-                    false,
-                )
-                .expect("runs"),
+                sim::Sim::new(pf_params)
+                    .adversary(sim::Adversary::Pf(variant))
+                    .manager(ManagerKind::FirstFit)
+                    .run()
+                    .expect("runs"),
             )
         });
     }

@@ -5,7 +5,7 @@
 use std::hint::black_box;
 
 use partial_compaction::heap::{Execution, Heap, ScriptedProgram, Size};
-use partial_compaction::ManagerKind;
+use partial_compaction::{ManagerKind, Params};
 use pcb_bench::harness::bench;
 
 /// A deterministic churn: interleaved sizes with periodic frees.
@@ -33,7 +33,11 @@ fn main() {
             } else {
                 Heap::non_moving()
             };
-            let mut exec = Execution::new(heap, churn_script(24), kind.build(10, 1 << 14, 6));
+            let mut exec = Execution::new(
+                heap,
+                churn_script(24),
+                kind.build(&Params::new(1 << 14, 6, 10).expect("valid")),
+            );
             black_box(exec.run().expect("churn runs"))
         });
     }

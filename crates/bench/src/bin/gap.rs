@@ -62,7 +62,7 @@ fn main() {
 
         let churn = {
             let cfg = ChurnConfig::typical(m, log_n);
-            let mut exec = Execution::new(heap(), ChurnWorkload::new(cfg), kind.build(c, m, log_n));
+            let mut exec = Execution::new(heap(), ChurnWorkload::new(cfg), kind.build(&params));
             exec.run().expect("churn runs")
         };
         rows.push(GapRow {
@@ -75,7 +75,7 @@ fn main() {
 
         let ramp = {
             let cfg = RampConfig::benign(m, log_n);
-            let mut exec = Execution::new(heap(), RampWorkload::new(cfg), kind.build(c, m, log_n));
+            let mut exec = Execution::new(heap(), RampWorkload::new(cfg), kind.build(&params));
             exec.run().expect("ramp runs")
         };
         rows.push(GapRow {
@@ -88,7 +88,7 @@ fn main() {
 
         let escalating = {
             let cfg = RampConfig::escalating(m, log_n);
-            let mut exec = Execution::new(heap(), RampWorkload::new(cfg), kind.build(c, m, log_n));
+            let mut exec = Execution::new(heap(), RampWorkload::new(cfg), kind.build(&params));
             exec.run().expect("escalating ramp runs")
         };
         rows.push(GapRow {
@@ -99,7 +99,7 @@ fn main() {
             fraction_of_worst: escalating.waste_factor / h,
         });
 
-        let adversarial = sim::run(params, sim::Adversary::PF, kind, false).expect("P_F runs");
+        let adversarial = sim::Sim::new(params).manager(kind).run().expect("P_F runs");
         rows.push(GapRow {
             workload: "adversary-pf".into(),
             manager: kind.name().into(),

@@ -50,7 +50,10 @@ fn empirical_workload(smoke: bool) -> Workload {
         items: cells.len(),
         run: Box::new(move || {
             let reports = parallel::par_map(&cells, |&(params, kind)| {
-                sim::run(params, sim::Adversary::PF, kind, false).expect("grid cell runs")
+                sim::Sim::new(params)
+                    .manager(kind)
+                    .run()
+                    .expect("grid cell runs")
             });
             reports
                 .iter()

@@ -63,7 +63,11 @@ pub fn run_empirical(validate: bool) -> Vec<EmpiricalRow> {
         .flat_map(|params| ManagerKind::ALL.into_iter().map(move |kind| (params, kind)))
         .collect();
     parallel::par_map(&cells, |&(params, kind)| {
-        let report = sim::run(params, sim::Adversary::PF, kind, validate)
+        let report = sim::Sim::new(params)
+            .adversary(sim::Adversary::PF)
+            .manager(kind)
+            .validate(validate)
+            .run()
             .expect("grid points are feasible and managers serve P_F");
         assert!(
             report.violations.is_empty(),
@@ -94,7 +98,10 @@ pub fn run_robson_empirical() -> Vec<EmpiricalRow> {
         }
     }
     parallel::par_map(&cells, |&(params, kind)| {
-        let report = sim::run(params, sim::Adversary::Robson, kind, false)
+        let report = sim::Sim::new(params)
+            .adversary(sim::Adversary::Robson)
+            .manager(kind)
+            .run()
             .expect("P_R runs against non-moving managers");
         EmpiricalRow {
             m: params.m(),
@@ -180,7 +187,10 @@ pub fn run_ablation() -> Vec<AblationRow> {
         }
     }
     parallel::par_map(&cells, |&(params, kind, name, variant)| {
-        let report = sim::run(params, sim::Adversary::Pf(variant), kind, false)
+        let report = sim::Sim::new(params)
+            .adversary(sim::Adversary::Pf(variant))
+            .manager(kind)
+            .run()
             .expect("ablation points run");
         AblationRow {
             c: params.c(),

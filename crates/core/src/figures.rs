@@ -11,6 +11,9 @@ use pcb_json::{Json, ToJson};
 use crate::bounds::{bp11, robson, thm1, thm2};
 use crate::parallel;
 use crate::params::Params;
+use crate::sim::{Adversary, Sim, SimError};
+use pcb_alloc::ManagerKind;
+use pcb_heap::TimeSeries;
 
 /// One point of Figure 1: the lower-bound waste factor vs. `c`.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +138,31 @@ impl ToJson for Fig3Row {
     }
 }
 
+/// The per-round profile of one adversarial run — the empirical companion
+/// to the analytic figures. Where Figures 1–3 plot the *endpoint* bound,
+/// this returns the whole trajectory (live words, span, hole structure,
+/// budget allowance per round) so the build-up the proof describes can be
+/// plotted directly; `to_csv`/`to_json` on the result are plot-ready.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the underlying run.
+pub fn round_profile(
+    params: Params,
+    adversary: Adversary,
+    manager: ManagerKind,
+    every: u32,
+) -> Result<TimeSeries, SimError> {
+    let report = Sim::new(params)
+        .adversary(adversary)
+        .manager(manager)
+        .series(every)
+        .run()?;
+    Ok(report
+        .series
+        .expect("series requested, so the report carries one"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +198,19 @@ mod tests {
         // spans roughly 2.5..4+ over 1KB..1GB).
         assert!(rows.first().unwrap().h < 3.0);
         assert!(rows.last().unwrap().h > 4.0);
+    }
+
+    #[test]
+    fn round_profile_traces_the_buildup() {
+        let p = Params::new(1 << 12, 8, 20).unwrap();
+        let series = round_profile(p, Adversary::PF, ManagerKind::FirstFit, 1).unwrap();
+        assert!(!series.is_empty());
+        // The adversary's whole point: the span ends far above the live
+        // data it retains.
+        let last = series.len() - 1;
+        assert!(series.span()[last] > series.live_words()[last]);
+        // CSV is plot-ready: header + one line per sample.
+        assert_eq!(series.to_csv().lines().count(), series.len() + 1);
     }
 
     #[test]

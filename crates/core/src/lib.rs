@@ -49,7 +49,10 @@
 //! use partial_compaction::{sim, ManagerKind, Params};
 //!
 //! let params = Params::new(1 << 14, 10, 20)?;
-//! let report = sim::run(params, sim::Adversary::PF, ManagerKind::BestFit, false)
+//! let report = sim::Sim::new(params)
+//!     .adversary(sim::Adversary::PF)
+//!     .manager(ManagerKind::BestFit)
+//!     .run()
 //!     .expect("simulation runs");
 //! // The measured waste certifies the lower bound for this manager.
 //! assert!(report.waste_over_bound >= 0.95);
@@ -80,4 +83,6 @@ pub use pcb_workload as workload;
 // The most-used types, flattened for convenience.
 pub use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
 pub use pcb_alloc::ManagerKind;
-pub use pcb_heap::{Execution, Heap, Report, Size};
+pub use pcb_heap::{
+    Execution, Heap, Observer, Observers, Recorder, Report, Size, StatSink, TimeSeries, TraceWriter,
+};

@@ -1,154 +1,8 @@
 //! Experiment parameters `(M, n, c)` with the paper's side conditions.
+//!
+//! [`Params`] lives in `pcb-heap` (the root of the crate graph) so that
+//! allocator constructors such as
+//! [`ManagerKind::build`](pcb_alloc::ManagerKind::build) can accept it
+//! directly; this module re-exports it under the historical path.
 
-use core::fmt;
-
-/// Parameters of the paper's framework: programs in `P(M, n)` served by a
-/// c-partial manager.
-///
-/// All sizes are in **words** (the paper's unit, with the smallest object
-/// a single word); `n` is constrained to a power of two and carried as
-/// `log₂ n`, matching the `P2(M, n)` discipline used by every bound.
-///
-/// ```
-/// use partial_compaction::Params;
-/// // The paper's running example: M = 256 MB, n = 1 MB, word = byte.
-/// let p = Params::new(1 << 28, 20, 100)?;
-/// assert_eq!(p.n(), 1 << 20);
-/// assert_eq!(p.m_over_n(), 256.0);
-/// # Ok::<(), partial_compaction::ParamsError>(())
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Params {
-    m: u64,
-    log_n: u32,
-    c: u64,
-}
-
-impl pcb_json::ToJson for Params {
-    fn to_json(&self) -> pcb_json::Json {
-        use pcb_json::Json;
-        Json::object([
-            ("m", Json::from(self.m)),
-            ("log_n", Json::from(self.log_n)),
-            ("c", Json::from(self.c)),
-        ])
-    }
-}
-
-/// Validation error for [`Params`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParamsError {
-    message: String,
-}
-
-impl fmt::Display for ParamsError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid parameters: {}", self.message)
-    }
-}
-
-impl std::error::Error for ParamsError {}
-
-impl Params {
-    /// Creates parameters for live bound `m` words, max object `2^log_n`
-    /// words, and compaction bound `c`.
-    ///
-    /// # Errors
-    ///
-    /// Enforces the paper's standing assumptions `M > n > 1` and `c > 1`.
-    pub fn new(m: u64, log_n: u32, c: u64) -> Result<Self, ParamsError> {
-        if log_n == 0 {
-            return Err(ParamsError {
-                message: "n must exceed 1 (log_n >= 1)".into(),
-            });
-        }
-        if log_n >= 48 {
-            return Err(ParamsError {
-                message: format!("log_n = {log_n} is beyond the simulated address range"),
-            });
-        }
-        if m <= (1 << log_n) {
-            return Err(ParamsError {
-                message: format!("M = {m} must exceed n = {}", 1u64 << log_n),
-            });
-        }
-        if c < 2 {
-            return Err(ParamsError {
-                message: format!("c = {c} must exceed 1"),
-            });
-        }
-        Ok(Params { m, log_n, c })
-    }
-
-    /// The paper's running example: `M = 2^28`, `n = 2^20`, at the given
-    /// compaction bound (Figures 1 and 3 sweep `c` over `10..=100`).
-    pub fn paper_example(c: u64) -> Self {
-        Params::new(1 << 28, 20, c).expect("the paper's example parameters are valid")
-    }
-
-    /// Live-space bound `M` in words.
-    pub fn m(&self) -> u64 {
-        self.m
-    }
-
-    /// Maximum object size `n` in words.
-    pub fn n(&self) -> u64 {
-        1 << self.log_n
-    }
-
-    /// `log₂ n`.
-    pub fn log_n(&self) -> u32 {
-        self.log_n
-    }
-
-    /// Compaction bound `c`.
-    pub fn c(&self) -> u64 {
-        self.c
-    }
-
-    /// The ratio `M / n`.
-    pub fn m_over_n(&self) -> f64 {
-        self.m as f64 / self.n() as f64
-    }
-
-    /// Same parameters with a different compaction bound.
-    pub fn with_c(self, c: u64) -> Result<Self, ParamsError> {
-        Params::new(self.m, self.log_n, c)
-    }
-}
-
-impl fmt::Display for Params {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "M={} n=2^{} c={}", self.m, self.log_n, self.c)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn validation_rejects_degenerate_inputs() {
-        assert!(Params::new(100, 0, 10).is_err());
-        assert!(Params::new(16, 4, 10).is_err(), "M = n rejected");
-        assert!(Params::new(100, 4, 1).is_err());
-        assert!(Params::new(1 << 20, 50, 10).is_err());
-        assert!(Params::new(17, 4, 2).is_ok());
-    }
-
-    #[test]
-    fn paper_example_matches_quoted_sizes() {
-        let p = Params::paper_example(50);
-        assert_eq!(p.m(), 268_435_456);
-        assert_eq!(p.n(), 1_048_576);
-        assert_eq!(p.c(), 50);
-        assert_eq!(p.to_string(), "M=268435456 n=2^20 c=50");
-    }
-
-    #[test]
-    fn with_c_keeps_other_fields() {
-        let p = Params::paper_example(10).with_c(99).unwrap();
-        assert_eq!(p.c(), 99);
-        assert_eq!(p.log_n(), 20);
-    }
-}
+pub use pcb_heap::{Params, ParamsError};

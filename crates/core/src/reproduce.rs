@@ -134,7 +134,12 @@ pub fn all_checks() -> Vec<Check> {
         // The per-manager runs are independent; fan them across threads
         // and reduce in manager order so the summary is deterministic.
         let reports = parallel::par_map(&ManagerKind::ALL, |&kind| {
-            sim::run(params, sim::Adversary::PF, kind, true).expect("managers serve P_F")
+            sim::Sim::new(params)
+                .adversary(sim::Adversary::PF)
+                .manager(kind)
+                .validate(true)
+                .run()
+                .expect("managers serve P_F")
         });
         let mut worst: (f64, &str) = (f64::INFINITY, "");
         let mut all_ok = true;
@@ -159,7 +164,11 @@ pub fn all_checks() -> Vec<Check> {
         let mut all_ok = true;
         let mut worst = f64::INFINITY;
         for report in parallel::par_map(&ManagerKind::NON_MOVING, |&kind| {
-            sim::run(params, sim::Adversary::Robson, kind, false).expect("P_R runs")
+            sim::Sim::new(params)
+                .adversary(sim::Adversary::Robson)
+                .manager(kind)
+                .run()
+                .expect("P_R runs")
         }) {
             worst = worst.min(report.waste_over_bound);
             all_ok &= report.waste_over_bound >= 1.0;
@@ -175,13 +184,10 @@ pub fn all_checks() -> Vec<Check> {
     // ---- E10: full compaction achieves factor ~1. ----
     {
         let params = Params::new(1 << 14, 10, 20).expect("valid");
-        let report = sim::run(
-            params,
-            sim::Adversary::PF,
-            ManagerKind::FullCompaction,
-            false,
-        )
-        .expect("full compactor runs");
+        let report = sim::Sim::new(params)
+            .manager(ManagerKind::FullCompaction)
+            .run()
+            .expect("full compactor runs");
         let ok = report.execution.waste_factor <= 1.05 && report.execution.moved_fraction > 0.05;
         checks.push(Check::new(
             "E10",
@@ -211,7 +217,10 @@ pub fn all_checks() -> Vec<Check> {
     // ---- E6 exactness: the free-list policies attain Robson's bound. ----
     {
         let params = Params::new(1 << 12, 6, 10).expect("valid");
-        let report = sim::run(params, sim::Adversary::Robson, ManagerKind::FirstFit, false)
+        let report = sim::Sim::new(params)
+            .adversary(sim::Adversary::Robson)
+            .manager(ManagerKind::FirstFit)
+            .run()
             .expect("P_R runs");
         let exact = (report.waste_over_bound - 1.0).abs() < 1e-9;
         checks.push(Check::new(
@@ -233,10 +242,12 @@ pub fn all_checks() -> Vec<Check> {
         let mut exec = Execution::new(
             Heap::non_moving(),
             ChurnWorkload::new(cfg),
-            ManagerKind::FirstFit.build(c, m, log_n),
+            ManagerKind::FirstFit.build(&params),
         );
         let churn = exec.run().expect("churn runs").waste_factor;
-        let pf = sim::run(params, sim::Adversary::PF, ManagerKind::FirstFit, false)
+        let pf = sim::Sim::new(params)
+            .manager(ManagerKind::FirstFit)
+            .run()
             .expect("P_F runs")
             .execution
             .waste_factor;
@@ -245,6 +256,38 @@ pub fn all_checks() -> Vec<Check> {
             "E9",
             "the bounds are worst-case: benchmarks do much better than P_F",
             format!("churn {churn:.2} < h {h:.2} <= P_F {pf:.2}"),
+            ok,
+        ));
+    }
+
+    // ---- E12: observability is free of observer effects. ----
+    {
+        let params = Params::new(1 << 13, 9, 20).expect("valid");
+        let plain = sim::Sim::new(params)
+            .manager(ManagerKind::FirstFit)
+            .run()
+            .expect("P_F runs");
+        let watched = sim::Sim::new(params)
+            .manager(ManagerKind::FirstFit)
+            .series(1)
+            .stats(true)
+            .run()
+            .expect("P_F runs observed");
+        let series = watched.series.as_ref().expect("series collected");
+        let peak = series.span().iter().copied().max().unwrap_or(0);
+        let ok = plain.execution.heap_size == watched.execution.heap_size
+            && plain.execution.words_placed == watched.execution.words_placed
+            && peak == watched.execution.heap_size
+            && series.len() == watched.execution.rounds as usize;
+        checks.push(Check::new(
+            "E12",
+            "attaching per-round series + manager stats changes no result",
+            format!(
+                "HS {} = {} (peak of {} samples)",
+                plain.execution.heap_size,
+                watched.execution.heap_size,
+                series.len()
+            ),
             ok,
         ));
     }

@@ -1,12 +1,19 @@
-//! High-level simulation harness: one call to pit an adversary against a
-//! manager and get a report comparing the measured heap against the
-//! paper's bounds.
+//! High-level simulation harness: pit an adversary against a manager and
+//! get a report comparing the measured heap against the paper's bounds.
+//!
+//! The entry point is the [`Sim`] builder, which also carries the
+//! observability hooks: an external [`Observer`], a per-round
+//! [`TimeSeries`], and manager-side [`StatSink`] counters can all be
+//! attached to the same run.
 
 use core::fmt;
 
 use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
 use pcb_alloc::ManagerKind;
-use pcb_heap::{Execution, ExecutionError, Heap};
+use pcb_heap::{
+    Execution, ExecutionError, Heap, MemoryManager, Observer, Observers, Program, StatSink,
+    TimeSeries,
+};
 
 use crate::bounds::thm1;
 use crate::params::Params;
@@ -31,11 +38,16 @@ impl Adversary {
 pub struct SimReport {
     /// The underlying execution report.
     pub execution: pcb_heap::Report,
-    /// Theorem 1's waste factor for the parameters (1.0 when infeasible).
+    /// The bound the run is compared against, clamped to at least the
+    /// trivial factor 1 (a heap can never use less than the live space).
     pub h: f64,
+    /// The raw Theorem-1 factor before clamping. Values below 1 mean the
+    /// parameters are too weak for a non-trivial bound — information the
+    /// clamped `h` erases.
+    pub h_raw: f64,
     /// The density exponent `ρ` used (0 for Robson runs).
     pub rho: u32,
-    /// Measured waste divided by the theoretical bound (≥ 1 certifies the
+    /// Measured waste divided by the clamped bound `h` (≥ 1 certifies the
     /// lower bound empirically for this manager).
     pub waste_over_bound: f64,
     /// `s₁, s₂, q₁, q₂` (allocated / compacted words per stage; zeros for
@@ -45,6 +57,10 @@ pub struct SimReport {
     pub final_potential: Option<i128>,
     /// Analysis violations recorded during a validated run.
     pub violations: Vec<String>,
+    /// Per-round samples, when requested via [`Sim::series`].
+    pub series: Option<TimeSeries>,
+    /// Manager-side counters/histograms, when requested via [`Sim::stats`].
+    pub stats: Option<StatSink>,
 }
 
 impl pcb_json::ToJson for SimReport {
@@ -53,6 +69,7 @@ impl pcb_json::ToJson for SimReport {
         Json::object([
             ("execution", self.execution.to_json()),
             ("h", Json::from(self.h)),
+            ("h_raw", Json::from(self.h_raw)),
             ("rho", Json::from(self.rho)),
             ("waste_over_bound", Json::from(self.waste_over_bound)),
             (
@@ -69,6 +86,20 @@ impl pcb_json::ToJson for SimReport {
             (
                 "violations",
                 Json::array(self.violations.iter().map(|v| Json::from(v.as_str()))),
+            ),
+            (
+                "series",
+                match &self.series {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "stats",
+                match &self.stats {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
             ),
         ])
     }
@@ -89,94 +120,251 @@ impl fmt::Display for SimReport {
     }
 }
 
-/// Runs an adversary against a manager at the given parameters.
+/// A configurable adversary-vs-manager simulation.
+///
+/// Replaces the old positional `run(params, adversary, manager, validate)`
+/// call with named steps, and is the only way to attach observability:
 ///
 /// ```
 /// use partial_compaction::{sim, ManagerKind, Params};
 /// let params = Params::new(1 << 13, 9, 15)?;
-/// let report = sim::run(params, sim::Adversary::PF, ManagerKind::Tlsf, false)
+/// let report = sim::Sim::new(params)
+///     .adversary(sim::Adversary::PF)
+///     .manager(ManagerKind::Tlsf)
+///     .validate(false)
+///     .series(1)
+///     .run()
 ///     .expect("runs");
 /// assert!(report.waste_over_bound >= 0.9);
+/// let series = report.series.expect("per-round series requested");
+/// assert_eq!(series.len(), report.execution.rounds as usize);
 /// # Ok::<(), partial_compaction::ParamsError>(())
 /// ```
+pub struct Sim<'a> {
+    params: Params,
+    adversary: Adversary,
+    manager: ManagerKind,
+    validate: bool,
+    observer: Option<&'a mut dyn Observer>,
+    series_every: Option<u32>,
+    stats: bool,
+}
+
+impl fmt::Debug for Sim<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("params", &self.params)
+            .field("adversary", &self.adversary)
+            .field("manager", &self.manager)
+            .field("validate", &self.validate)
+            .field("observer", &self.observer.is_some())
+            .field("series_every", &self.series_every)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a> Sim<'a> {
+    /// Starts configuring a simulation at the given parameters.
+    /// Defaults: the paper's full `P_F` against first-fit, no validation,
+    /// no observability.
+    pub fn new(params: Params) -> Self {
+        Sim {
+            params,
+            adversary: Adversary::PF,
+            manager: ManagerKind::FirstFit,
+            validate: false,
+            observer: None,
+            series_every: None,
+            stats: false,
+        }
+    }
+
+    /// Selects the adversary.
+    pub fn adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Selects the manager.
+    pub fn manager(mut self, manager: ManagerKind) -> Self {
+        self.manager = manager;
+        self
+    }
+
+    /// Enables the adversary's internal invariant validation (slower;
+    /// populates [`SimReport::violations`]).
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// Attaches an external observer; it receives every event alongside
+    /// any internal collectors.
+    pub fn observe(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Collects a per-round [`TimeSeries`] sampled every `every` rounds
+    /// (0 is treated as 1) into [`SimReport::series`].
+    pub fn series(mut self, every: u32) -> Self {
+        self.series_every = Some(every);
+        self
+    }
+
+    /// Collects manager-side counters/histograms into
+    /// [`SimReport::stats`].
+    pub fn stats(mut self, stats: bool) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Drives an execution to completion, attaching the configured
+    /// collectors. With nothing attached this is the engine's zero-cost
+    /// unobserved path.
+    fn drive<P: Program, M: MemoryManager>(
+        observer: Option<&mut dyn Observer>,
+        series_every: Option<u32>,
+        exec: &mut Execution<P, M>,
+    ) -> Result<(pcb_heap::Report, Option<TimeSeries>), ExecutionError> {
+        if observer.is_none() && series_every.is_none() {
+            return Ok((exec.run()?, None));
+        }
+        let mut series = series_every.map(|k| TimeSeries::new().every(k));
+        let mut bus = Observers::new();
+        if let Some(s) = series.as_mut() {
+            bus.attach(s);
+        }
+        if let Some(o) = observer {
+            bus.attach(o);
+        }
+        let report = exec.run_observed(&mut bus)?;
+        drop(bus);
+        Ok((report, series))
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecutionError`]s (e.g. a manager that cannot serve a
+    /// request) and rejects infeasible `P_F` parameter combinations.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let Sim {
+            params,
+            adversary,
+            manager,
+            validate,
+            observer,
+            series_every,
+            stats,
+        } = self;
+        match adversary {
+            Adversary::Pf(variant) => {
+                let mut cfg = PfConfig::new(params.m(), params.log_n(), params.c())
+                    .map_err(SimError::Infeasible)?
+                    .with_variant(variant);
+                if validate {
+                    cfg = cfg.with_validation();
+                }
+                let rho = cfg.rho;
+                let h_raw = cfg.h;
+                let heap = if manager.is_unbounded() {
+                    Heap::unlimited_compaction()
+                } else {
+                    Heap::new(params.c())
+                };
+                let mut exec = Execution::new(heap, PfProgram::new(cfg), manager.build(&params));
+                if stats {
+                    exec = exec.with_stats();
+                }
+                let (execution, series) =
+                    Self::drive(observer, series_every, &mut exec).map_err(SimError::Execution)?;
+                let program = exec.program();
+                // The trivial factor 1 is always attainable, so the bound
+                // the measurement is held to is the clamped value; the raw
+                // h is preserved separately.
+                let h = h_raw.max(1.0);
+                let waste_over_bound = execution.waste_factor / h;
+                let stage_words = [
+                    program.s1_words(),
+                    program.s2_words(),
+                    program.q1_words(),
+                    program.q2_words(),
+                ];
+                let final_potential = program.potential();
+                let violations = program.violations().to_vec();
+                Ok(SimReport {
+                    h,
+                    h_raw,
+                    rho,
+                    waste_over_bound,
+                    stage_words,
+                    final_potential,
+                    violations,
+                    execution,
+                    series,
+                    stats: exec.take_stats(),
+                })
+            }
+            Adversary::Robson => {
+                let program = RobsonProgram::new(params.m(), params.log_n());
+                let heap = if manager.is_unbounded() {
+                    Heap::unlimited_compaction()
+                } else if manager.is_compacting() {
+                    Heap::new(params.c())
+                } else {
+                    Heap::non_moving()
+                };
+                let mut exec = Execution::new(heap, program, manager.build(&params));
+                if stats {
+                    exec = exec.with_stats();
+                }
+                let (execution, series) =
+                    Self::drive(observer, series_every, &mut exec).map_err(SimError::Execution)?;
+                let bound = RobsonProgram::robson_lower_bound(params.m(), params.log_n())
+                    / params.m() as f64;
+                let h = bound.max(1.0);
+                let waste_over_bound = execution.waste_factor / h;
+                Ok(SimReport {
+                    h,
+                    h_raw: bound,
+                    rho: 0,
+                    waste_over_bound,
+                    stage_words: [0; 4],
+                    final_potential: None,
+                    violations: Vec::new(),
+                    execution,
+                    series,
+                    stats: exec.take_stats(),
+                })
+            }
+        }
+    }
+}
+
+/// Runs an adversary against a manager at the given parameters.
+///
+/// Thin wrapper kept for familiarity; new code should use the [`Sim`]
+/// builder, which names each knob and can attach observers.
 ///
 /// # Errors
 ///
 /// Propagates [`ExecutionError`]s (e.g. a manager that cannot serve a
 /// request) and rejects infeasible `P_F` parameter combinations.
+#[deprecated(note = "use the `sim::Sim` builder instead")]
 pub fn run(
     params: Params,
     adversary: Adversary,
     manager: ManagerKind,
     validate: bool,
 ) -> Result<SimReport, SimError> {
-    match adversary {
-        Adversary::Pf(variant) => {
-            let mut cfg = PfConfig::new(params.m(), params.log_n(), params.c())
-                .map_err(SimError::Infeasible)?
-                .with_variant(variant);
-            if validate {
-                cfg = cfg.with_validation();
-            }
-            let rho = cfg.rho;
-            let h = cfg.h;
-            let heap = if manager.is_unbounded() {
-                Heap::unlimited_compaction()
-            } else {
-                Heap::new(params.c())
-            };
-            let mut exec = Execution::new(
-                heap,
-                PfProgram::new(cfg),
-                manager.build(params.c(), params.m(), params.log_n()),
-            );
-            let execution = exec.run().map_err(SimError::Execution)?;
-            let program = exec.program();
-            let waste_over_bound = execution.waste_factor / h.max(1.0);
-            Ok(SimReport {
-                h: h.max(1.0),
-                rho,
-                waste_over_bound,
-                stage_words: [
-                    program.s1_words(),
-                    program.s2_words(),
-                    program.q1_words(),
-                    program.q2_words(),
-                ],
-                final_potential: program.potential(),
-                violations: program.violations().to_vec(),
-                execution,
-            })
-        }
-        Adversary::Robson => {
-            let program = RobsonProgram::new(params.m(), params.log_n());
-            let heap = if manager.is_unbounded() {
-                Heap::unlimited_compaction()
-            } else if manager.is_compacting() {
-                Heap::new(params.c())
-            } else {
-                Heap::non_moving()
-            };
-            let mut exec = Execution::new(
-                heap,
-                program,
-                manager.build(params.c(), params.m(), params.log_n()),
-            );
-            let execution = exec.run().map_err(SimError::Execution)?;
-            let bound =
-                RobsonProgram::robson_lower_bound(params.m(), params.log_n()) / params.m() as f64;
-            let waste_over_bound = execution.waste_factor / bound;
-            Ok(SimReport {
-                h: bound,
-                rho: 0,
-                waste_over_bound,
-                stage_words: [0; 4],
-                final_potential: None,
-                violations: Vec::new(),
-                execution,
-            })
-        }
-    }
+    Sim::new(params)
+        .adversary(adversary)
+        .manager(manager)
+        .validate(validate)
+        .run()
 }
 
 /// Theorem 1's bound for quick reference alongside a simulation.
@@ -214,14 +402,19 @@ impl std::error::Error for SimError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcb_heap::Recorder;
 
     fn small() -> Params {
         Params::new(1 << 14, 10, 20).unwrap()
     }
 
+    fn sim(manager: ManagerKind) -> Sim<'static> {
+        Sim::new(small()).manager(manager)
+    }
+
     #[test]
     fn pf_run_produces_consistent_report() {
-        let report = run(small(), Adversary::PF, ManagerKind::FirstFit, true).unwrap();
+        let report = sim(ManagerKind::FirstFit).validate(true).run().unwrap();
         assert!(report.waste_over_bound >= 0.95);
         assert!(report.violations.is_empty());
         assert_eq!(
@@ -229,31 +422,34 @@ mod tests {
             report.stage_words[0] + report.stage_words[1]
         );
         assert!(report.final_potential.unwrap() <= report.execution.heap_size as i128);
+        assert!(report.series.is_none());
+        assert!(report.stats.is_none());
         let display = report.to_string();
         assert!(display.contains("pf vs first-fit"));
     }
 
     #[test]
     fn robson_run_produces_consistent_report() {
-        let report = run(small(), Adversary::Robson, ManagerKind::BestFit, false).unwrap();
+        let report = sim(ManagerKind::BestFit)
+            .adversary(Adversary::Robson)
+            .run()
+            .unwrap();
         assert!(report.waste_over_bound >= 1.0);
         assert_eq!(report.rho, 0);
         assert_eq!(report.execution.objects_moved, 0);
+        assert!(report.h_raw > 1.0, "Robson's bound is non-trivial here");
     }
 
     #[test]
     fn infeasible_parameters_are_reported() {
         // c = 2 admits no rho (needs 2^rho <= 3c/4 = 1.5 with rho >= 1).
         let p = Params::new(1 << 14, 10, 2).unwrap();
-        assert!(matches!(
-            run(p, Adversary::PF, ManagerKind::FirstFit, false),
-            Err(SimError::Infeasible(_))
-        ));
+        assert!(matches!(Sim::new(p).run(), Err(SimError::Infeasible(_))));
     }
 
     #[test]
     fn compacting_managers_get_budgeted_heaps() {
-        let report = run(small(), Adversary::PF, ManagerKind::PagesThm2, false).unwrap();
+        let report = sim(ManagerKind::PagesThm2).run().unwrap();
         assert!(report.execution.moved_fraction <= 1.0 / 20.0 + 1e-12);
     }
 
@@ -262,7 +458,7 @@ mod tests {
         // The paper's contrast: with unlimited compaction the overhead
         // factor is ~1 against the very same adversary that forces h > 1
         // on every c-partial manager.
-        let report = run(small(), Adversary::PF, ManagerKind::FullCompaction, false).unwrap();
+        let report = sim(ManagerKind::FullCompaction).run().unwrap();
         assert!(
             report.execution.waste_factor <= 1.05,
             "full compaction wastes {}",
@@ -276,5 +472,56 @@ mod tests {
             report.h > 1.5,
             "the c-partial bound it beats is non-trivial"
         );
+    }
+
+    #[test]
+    fn deprecated_wrapper_matches_builder() {
+        #[allow(deprecated)]
+        let wrapped = run(small(), Adversary::PF, ManagerKind::FirstFit, false).unwrap();
+        let built = sim(ManagerKind::FirstFit).run().unwrap();
+        assert_eq!(wrapped.execution.heap_size, built.execution.heap_size);
+        assert_eq!(wrapped.h, built.h);
+        assert_eq!(wrapped.h_raw, built.h_raw);
+    }
+
+    #[test]
+    fn raw_h_preserves_the_infeasible_vs_trivial_distinction() {
+        // At these tiny parameters Theorem 1's factor dips below 1; the
+        // clamped h must be exactly 1 while h_raw keeps the real value.
+        let p = Params::new(70, 5, 1000).unwrap();
+        let report = Sim::new(p).run().unwrap();
+        assert!(report.h_raw < 1.0, "h_raw = {}", report.h_raw);
+        assert_eq!(report.h, 1.0);
+        assert!((report.waste_over_bound - report.execution.waste_factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observers_series_and_stats_attach_without_changing_results() {
+        let baseline = sim(ManagerKind::FirstFit).run().unwrap();
+        let mut recorder = Recorder::new();
+        let observed = Sim::new(small())
+            .manager(ManagerKind::FirstFit)
+            .observe(&mut recorder)
+            .series(1)
+            .stats(true)
+            .run()
+            .unwrap();
+        assert_eq!(baseline.execution.heap_size, observed.execution.heap_size);
+        assert_eq!(
+            baseline.execution.words_placed,
+            observed.execution.words_placed
+        );
+        assert!(!recorder.is_empty());
+        let series = observed.series.expect("series collected");
+        assert_eq!(series.len(), observed.execution.rounds as usize);
+        // HS is the peak of the span column.
+        let peak = series.span().iter().copied().max().unwrap();
+        assert_eq!(peak, observed.execution.heap_size);
+        let stats = observed.stats.expect("stats collected");
+        assert_eq!(
+            stats.counter("freelist.placements"),
+            observed.execution.objects_placed
+        );
+        assert!(stats.histogram("freelist.probes").is_some());
     }
 }

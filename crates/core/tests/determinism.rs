@@ -52,7 +52,10 @@ fn parallel_results_are_identical_to_sequential() {
             let params = Params::new(1 << 13, 9, 20).expect("valid");
             let cells: Vec<ManagerKind> = ManagerKind::ALL.to_vec();
             let reports = parallel::par_map(&cells, |&kind| {
-                sim::run(params, sim::Adversary::PF, kind, false)
+                sim::Sim::new(params)
+                    .adversary(sim::Adversary::PF)
+                    .manager(kind)
+                    .run()
                     .expect("cell runs")
                     .to_string()
             });

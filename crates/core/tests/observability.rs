@@ -1,0 +1,72 @@
+//! Observers must be invisible in the physics: attaching any combination
+//! of event recorders, per-round series, and manager stats to a run must
+//! leave every `Report` field identical to the unobserved run — under the
+//! sequential code path and under parallel workers alike.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the
+//! process-wide `PCB_THREADS` variable, and cargo runs test binaries one
+//! at a time, so a lone test is the race-free way to flip the knob.
+
+use partial_compaction::{sim, ManagerKind, Params, Recorder};
+
+fn with_threads<T>(threads: &str, run: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("PCB_THREADS").ok();
+    std::env::set_var("PCB_THREADS", threads);
+    let out = run();
+    match saved {
+        Some(v) => std::env::set_var("PCB_THREADS", v),
+        None => std::env::remove_var("PCB_THREADS"),
+    }
+    out
+}
+
+fn fingerprint(report: &partial_compaction::Report) -> String {
+    format!("{report:?}")
+}
+
+fn run_pair(kind: ManagerKind) -> (String, String) {
+    let params = Params::new(1 << 13, 9, 20).expect("valid");
+    let plain = sim::Sim::new(params)
+        .manager(kind)
+        .run()
+        .expect("plain run");
+    let mut recorder = Recorder::new();
+    let watched = sim::Sim::new(params)
+        .manager(kind)
+        .observe(&mut recorder)
+        .series(1)
+        .stats(true)
+        .run()
+        .expect("observed run");
+    assert!(
+        !recorder.is_empty(),
+        "{}: the recorder saw no events",
+        kind.name()
+    );
+    assert!(
+        watched.series.as_ref().is_some_and(|s| !s.is_empty()),
+        "{}: no series collected",
+        kind.name()
+    );
+    (
+        fingerprint(&plain.execution),
+        fingerprint(&watched.execution),
+    )
+}
+
+#[test]
+fn observers_never_change_the_report() {
+    for threads in ["1", "4"] {
+        with_threads(threads, || {
+            for kind in ManagerKind::ALL {
+                let (plain, watched) = run_pair(kind);
+                assert_eq!(
+                    plain,
+                    watched,
+                    "{} diverged under observation (PCB_THREADS={threads})",
+                    kind.name()
+                );
+            }
+        });
+    }
+}

@@ -14,6 +14,7 @@ use crate::event::{Event, Observer, Tick};
 use crate::heap::{Heap, HeapStats};
 use crate::manager::{AllocRequest, HeapOps, MemoryManager};
 use crate::program::Program;
+use crate::stats::StatSink;
 
 /// Summary of a finished (or aborted) execution.
 #[derive(Debug, Clone)]
@@ -121,6 +122,9 @@ pub struct Execution<P, M> {
     /// Upper bound on rounds, a safety net against non-terminating
     /// programs. Defaults to `u32::MAX`.
     max_rounds: u32,
+    /// Manager-side counters/histograms; `None` (the default) keeps the
+    /// manager's reporting calls free.
+    stats: Option<StatSink>,
 }
 
 impl<P: Program, M: MemoryManager> Execution<P, M> {
@@ -136,6 +140,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             round: 0,
             tick: 0,
             max_rounds: u32::MAX,
+            stats: None,
         }
     }
 
@@ -143,6 +148,25 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = max_rounds;
         self
+    }
+
+    /// Attaches a [`StatSink`] so the manager's `stat_add`/`stat_record`
+    /// calls (placement probes, size histograms) are collected; returns
+    /// `self` for chaining. Without this the calls are no-ops.
+    pub fn with_stats(mut self) -> Self {
+        self.stats = Some(StatSink::new());
+        self
+    }
+
+    /// The collected manager statistics, if [`with_stats`](Self::with_stats)
+    /// was enabled.
+    pub fn stats(&self) -> Option<&StatSink> {
+        self.stats.as_ref()
+    }
+
+    /// Detaches and returns the collected statistics.
+    pub fn take_stats(&mut self) -> Option<StatSink> {
+        self.stats.take()
     }
 
     /// The heap (read-only).
@@ -246,6 +270,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
                     program: &mut self.program,
                     observer: observer.as_deref_mut(),
                     tick: &mut self.tick,
+                    stats: self.stats.as_mut(),
                 };
                 self.manager
                     .place(AllocRequest { id, size }, &mut ops)
@@ -273,6 +298,12 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         Self::emit(&mut observer, &mut self.tick, || Event::RoundEnd {
             round: self.round,
         });
+        // Round-boundary sampling hook: collectors get read access to the
+        // heap itself, not just the event stream. Ticks are unaffected, so
+        // observed and unobserved runs still number events identically.
+        if let Some(obs) = observer {
+            obs.on_round_end(self.round, &self.heap);
+        }
         self.program.round_done();
         self.round += 1;
         Ok(())

@@ -5,7 +5,10 @@
 //! tracers) subscribe through [`Observer`] and receive events in program
 //! order, timestamped by a monotone logical clock.
 
+use core::fmt;
+
 use crate::addr::{Addr, Size};
+use crate::heap::Heap;
 use crate::object::ObjectId;
 
 /// A logical timestamp: the index of the event in the execution.
@@ -71,6 +74,91 @@ impl Event {
 pub trait Observer {
     /// Receives the `tick`-th event of the execution.
     fn on_event(&mut self, tick: Tick, event: &Event);
+
+    /// Called once per round, right after the round's
+    /// [`Event::RoundEnd`], with read access to the heap so collectors
+    /// can sample derived state (fragmentation, budget allowance, …)
+    /// without reconstructing it from the event stream. Default: nothing.
+    fn on_round_end(&mut self, round: u32, heap: &Heap) {
+        let _ = (round, heap);
+    }
+}
+
+/// Mutable references to observers are observers, so a caller can keep
+/// ownership of a collector while an execution borrows it.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_event(&mut self, tick: Tick, event: &Event) {
+        (**self).on_event(tick, event);
+    }
+
+    fn on_round_end(&mut self, round: u32, heap: &Heap) {
+        (**self).on_round_end(round, heap);
+    }
+}
+
+/// A composite observer: fans every event out to each attached observer
+/// in attachment order, so one execution can feed a recorder, a metrics
+/// collector, and a trace writer at once.
+///
+/// ```
+/// use pcb_heap::{Observers, Recorder, Trace, TraceRecorder};
+///
+/// let mut recorder = Recorder::new();
+/// let mut tracer = TraceRecorder::new(10);
+/// let mut bus = Observers::new();
+/// bus.attach(&mut recorder).attach(&mut tracer);
+/// // … run an `Execution` with `run_observed(&mut bus)` …
+/// # drop(bus);
+/// # let _: (Recorder, Trace) = (recorder, tracer.into_trace());
+/// ```
+#[derive(Default)]
+pub struct Observers<'a> {
+    sinks: Vec<&'a mut dyn Observer>,
+}
+
+impl<'a> Observers<'a> {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an observer; events are delivered in attachment order.
+    pub fn attach(&mut self, observer: &'a mut dyn Observer) -> &mut Self {
+        self.sinks.push(observer);
+        self
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no observer is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl fmt::Debug for Observers<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Observers")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Observer for Observers<'_> {
+    fn on_event(&mut self, tick: Tick, event: &Event) {
+        for sink in &mut self.sinks {
+            sink.on_event(tick, event);
+        }
+    }
+
+    fn on_round_end(&mut self, round: u32, heap: &Heap) {
+        for sink in &mut self.sinks {
+            sink.on_round_end(round, heap);
+        }
+    }
 }
 
 /// An observer that records all events (useful in tests and for replay).

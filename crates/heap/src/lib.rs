@@ -58,20 +58,26 @@ mod heatmap;
 mod manager;
 mod metrics;
 mod object;
+mod params;
 mod program;
+mod series;
 mod space;
+mod stats;
 mod trace;
 
 pub use addr::{Addr, Extent, Size};
 pub use budget::CompactionBudget;
 pub use engine::{Execution, NullObserver, Report};
 pub use error::{ExecutionError, HeapError, SpaceError};
-pub use event::{Event, Observer, Recorder, Tick};
+pub use event::{Event, Observer, Observers, Recorder, Tick};
 pub use heap::{Heap, HeapStats};
 pub use heatmap::{heat_map, heat_map_rows};
 pub use manager::{AllocRequest, HeapOps, MemoryManager, MoveOutcome, PlacementError};
 pub use metrics::{FragmentationSnapshot, MetricsCollector};
 pub use object::{ObjectId, ObjectIdGen, ObjectRecord};
+pub use params::{Params, ParamsError};
 pub use program::{MoveResponse, Program, ScriptRound, ScriptedProgram};
+pub use series::TimeSeries;
 pub use space::SpaceMap;
-pub use trace::{Trace, TraceEvent, TraceRecorder};
+pub use stats::{Histogram, StatSink};
+pub use trace::{Trace, TraceEvent, TraceRecorder, TraceWriter, TraceWriterBuilder};

@@ -1,0 +1,230 @@
+//! Per-round time series of heap-shape and budget state.
+//!
+//! [`TimeSeries`] is an [`Observer`] that samples the heap at round
+//! boundaries — the paper's unit of adversary progress — into compact
+//! columnar vectors, so a whole `HS/M` trajectory costs a few words per
+//! round instead of an event log. Sampling happens in
+//! [`Observer::on_round_end`], where the engine hands the observer read
+//! access to the heap; the per-event callback is a no-op, which keeps
+//! the collector cheap even on allocation-heavy rounds.
+
+use pcb_json::{Json, ToJson};
+
+use crate::event::{Event, Observer, Tick};
+use crate::heap::Heap;
+use crate::metrics::FragmentationSnapshot;
+
+/// Columnar per-round samples of heap state.
+///
+/// One row is appended per sampled round (every round by default, every
+/// `k`-th with [`every`](TimeSeries::every)); all columns have equal
+/// length. Emission: [`ToJson`] (columnar arrays) or
+/// [`to_csv`](TimeSeries::to_csv) (one row per sample).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    cadence: u32,
+    round: Vec<u32>,
+    live_words: Vec<u64>,
+    span: Vec<u64>,
+    hole_count: Vec<u64>,
+    largest_hole: Vec<u64>,
+    external_fragmentation: Vec<f64>,
+    allowance: Vec<u64>,
+    words_moved: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a collector that samples every round.
+    pub fn new() -> Self {
+        TimeSeries {
+            cadence: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the sampling cadence: sample rounds `0, k, 2k, …` only.
+    /// A cadence of 0 is treated as 1.
+    pub fn every(mut self, k: u32) -> Self {
+        self.cadence = k.max(1);
+        self
+    }
+
+    /// Number of sampled rounds.
+    pub fn len(&self) -> usize {
+        self.round.len()
+    }
+
+    /// Whether nothing was sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.round.is_empty()
+    }
+
+    /// Sampled round indices.
+    pub fn rounds(&self) -> &[u32] {
+        &self.round
+    }
+
+    /// Live words at the end of each sampled round.
+    pub fn live_words(&self) -> &[u64] {
+        &self.live_words
+    }
+
+    /// Used span (lowest to highest occupied word) per sampled round.
+    /// `HS` is the running maximum of this column.
+    pub fn span(&self) -> &[u64] {
+        &self.span
+    }
+
+    /// Interior hole count per sampled round.
+    pub fn hole_count(&self) -> &[u64] {
+        &self.hole_count
+    }
+
+    /// Largest interior hole per sampled round.
+    pub fn largest_hole(&self) -> &[u64] {
+        &self.largest_hole
+    }
+
+    /// External fragmentation (`1 - live/span`) per sampled round.
+    pub fn external_fragmentation(&self) -> &[f64] {
+        &self.external_fragmentation
+    }
+
+    /// Unspent compaction allowance (words) per sampled round.
+    pub fn allowance(&self) -> &[u64] {
+        &self.allowance
+    }
+
+    /// Cumulative words moved by the manager up to each sampled round.
+    pub fn words_moved(&self) -> &[u64] {
+        &self.words_moved
+    }
+
+    /// Renders the series as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,live_words,span,hole_count,largest_hole,external_fragmentation,allowance,words_moved\n",
+        );
+        for i in 0..self.len() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6},{},{}\n",
+                self.round[i],
+                self.live_words[i],
+                self.span[i],
+                self.hole_count[i],
+                self.largest_hole[i],
+                self.external_fragmentation[i],
+                self.allowance[i],
+                self.words_moved[i],
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for TimeSeries {
+    fn to_json(&self) -> Json {
+        fn column<T: Copy + Into<Json>>(xs: &[T]) -> Json {
+            Json::array(xs.iter().map(|&x| x.into()))
+        }
+        Json::object([
+            ("cadence", Json::from(self.cadence)),
+            ("round", column(&self.round)),
+            ("live_words", column(&self.live_words)),
+            ("span", column(&self.span)),
+            ("hole_count", column(&self.hole_count)),
+            ("largest_hole", column(&self.largest_hole)),
+            (
+                "external_fragmentation",
+                column(&self.external_fragmentation),
+            ),
+            ("allowance", column(&self.allowance)),
+            ("words_moved", column(&self.words_moved)),
+        ])
+    }
+}
+
+impl Observer for TimeSeries {
+    fn on_event(&mut self, _tick: Tick, _event: &Event) {}
+
+    fn on_round_end(&mut self, round: u32, heap: &Heap) {
+        if !round.is_multiple_of(self.cadence) {
+            return;
+        }
+        let snap = FragmentationSnapshot::capture(heap);
+        self.round.push(round);
+        self.live_words.push(snap.live_words);
+        self.span.push(snap.current_span);
+        self.hole_count.push(snap.hole_count as u64);
+        self.largest_hole.push(snap.largest_hole);
+        self.external_fragmentation
+            .push(snap.external_fragmentation);
+        let allowance = heap.budget().allowance().get();
+        // An unlimited ledger reports u64::MAX; clamp to the words the
+        // simulated address range could actually hold so columns stay
+        // plottable.
+        self.allowance.push(allowance.min(1u64 << 48));
+        self.words_moved.push(heap.stats().words_moved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, Size};
+
+    fn sample_heap() -> Heap {
+        let mut h = Heap::new(10);
+        let a = h.fresh_id();
+        let b = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(4)).unwrap();
+        h.place(b, Addr::new(8), Size::new(4)).unwrap();
+        h
+    }
+
+    #[test]
+    fn samples_round_state() {
+        let mut ts = TimeSeries::new();
+        let heap = sample_heap();
+        ts.on_round_end(0, &heap);
+        ts.on_round_end(1, &heap);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.rounds(), &[0, 1]);
+        assert_eq!(ts.live_words(), &[8, 8]);
+        assert_eq!(ts.span(), &[12, 12]);
+        assert_eq!(ts.hole_count(), &[1, 1]);
+        assert_eq!(ts.largest_hole(), &[4, 4]);
+        // 8 words allocated at c = 10: no whole word of allowance yet.
+        assert_eq!(ts.allowance(), &[0, 0]);
+        assert_eq!(ts.words_moved(), &[0, 0]);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn cadence_skips_rounds() {
+        let mut ts = TimeSeries::new().every(3);
+        let heap = sample_heap();
+        for round in 0..8 {
+            ts.on_round_end(round, &heap);
+        }
+        assert_eq!(ts.rounds(), &[0, 3, 6]);
+        // Cadence 0 behaves as 1.
+        let mut dense = TimeSeries::new().every(0);
+        dense.on_round_end(0, &heap);
+        dense.on_round_end(1, &heap);
+        assert_eq!(dense.len(), 2);
+    }
+
+    #[test]
+    fn csv_and_json_agree_on_length() {
+        let mut ts = TimeSeries::new();
+        let heap = sample_heap();
+        ts.on_round_end(0, &heap);
+        let csv = ts.to_csv();
+        assert_eq!(csv.lines().count(), 2, "header + one row");
+        assert!(csv.starts_with("round,live_words,span"));
+        let json = ts.to_json();
+        assert_eq!(json.get("round").and_then(Json::as_array).unwrap().len(), 1);
+        assert_eq!(json.get("cadence").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -8,6 +8,10 @@
 //! file, and a refactor that changes any placement shows up as a trace
 //! mismatch.
 
+use core::fmt;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
 use pcb_json::Json;
 
 use crate::addr::{Addr, Size};
@@ -97,6 +101,31 @@ impl TraceEvent {
                 ("id", Json::from(id)),
                 ("to", Json::from(to)),
             ]),
+        }
+    }
+
+    /// Writes the event as one compact JSON line, byte-identical to
+    /// `to_json().to_string()` (keys in sorted order) but without building
+    /// the intermediate `Json` tree — this is the per-event hot path of
+    /// [`TraceWriter`], which sees every placement of a run.
+    fn write_jsonl(self, out: &mut impl Write) -> io::Result<()> {
+        match self {
+            TraceEvent::RoundStart { round } => {
+                writeln!(out, "{{\"kind\":\"round_start\",\"round\":{round}}}")
+            }
+            TraceEvent::RoundEnd { round } => {
+                writeln!(out, "{{\"kind\":\"round_end\",\"round\":{round}}}")
+            }
+            TraceEvent::Placed { id, addr, size } => {
+                writeln!(
+                    out,
+                    "{{\"addr\":{addr},\"id\":{id},\"kind\":\"placed\",\"size\":{size}}}"
+                )
+            }
+            TraceEvent::Freed { id } => writeln!(out, "{{\"id\":{id},\"kind\":\"freed\"}}"),
+            TraceEvent::Moved { id, to } => {
+                writeln!(out, "{{\"id\":{id},\"kind\":\"moved\",\"to\":{to}}}")
+            }
         }
     }
 
@@ -226,6 +255,32 @@ impl Trace {
         .to_string()
     }
 
+    /// Deserializes from the JSON Lines form produced by [`TraceWriter`]:
+    /// a header line `{"c": N}` followed by one event object per line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message of the first malformed line.
+    pub fn from_jsonl(jsonl: &str) -> Result<Self, String> {
+        let mut lines = jsonl.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| "empty trace stream".to_string())?;
+        let c = Json::parse(header)
+            .map_err(|e| format!("trace header: {e}"))?
+            .get("c")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "trace header missing integer field `c`".to_string())?;
+        let events = lines
+            .map(|line| {
+                Json::parse(line)
+                    .map_err(|e| e.to_string())
+                    .and_then(|v| TraceEvent::from_json(&v))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { c, events })
+    }
+
     /// Deserializes from JSON.
     ///
     /// # Errors
@@ -272,6 +327,151 @@ impl TraceRecorder {
 impl Observer for TraceRecorder {
     fn on_event(&mut self, _tick: Tick, event: &Event) {
         self.trace.events.push(event.into());
+    }
+}
+
+/// An [`Observer`] that streams a trace as JSON Lines instead of holding
+/// the whole event log in memory: a header line `{"c": N}` followed by
+/// one event object per line, replayable via [`Trace::from_jsonl`].
+///
+/// I/O errors are deferred: the observer callback cannot fail, so the
+/// first error is stashed and surfaced by [`finish`](TraceWriter::finish)
+/// (subsequent events are dropped once an error has occurred).
+///
+/// With [`ring`](TraceWriterBuilder::ring) the writer instead buffers
+/// only the **last** `capacity` events and emits them at `finish` — a
+/// flight-recorder mode for long runs where only the tail matters. A
+/// truncated ring trace starts mid-run, so it documents behaviour but
+/// no longer replays from an empty heap.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    c: u64,
+    ring: Option<VecDeque<TraceEvent>>,
+    capacity: usize,
+    written: u64,
+    dropped: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts streaming a run under compaction bound `c` (pass the same
+    /// value the heap was built with; `u64::MAX` for non-moving, 0 for
+    /// unlimited). The header line is written immediately.
+    #[allow(clippy::new_ret_no_self)] // entry point of the builder: new(out).ring(..).begin(c)
+    pub fn new(out: W) -> TraceWriterBuilder<W> {
+        TraceWriterBuilder {
+            out,
+            capacity: None,
+        }
+    }
+
+    fn start(mut out: W, c: u64, capacity: Option<usize>) -> Self {
+        let mut error = None;
+        let ring = match capacity {
+            Some(cap) => Some(VecDeque::with_capacity(cap.max(1))),
+            None => {
+                if let Err(e) = writeln!(out, "{}", Json::object([("c", Json::from(c))])) {
+                    error = Some(e);
+                }
+                None
+            }
+        };
+        TraceWriter {
+            out,
+            c,
+            ring,
+            capacity: capacity.unwrap_or(0).max(1),
+            written: 0,
+            dropped: 0,
+            error,
+        }
+    }
+
+    /// Events accepted so far (streamed or buffered).
+    pub fn events_seen(&self) -> u64 {
+        self.written
+    }
+
+    /// Events evicted from the ring buffer (always 0 in streaming mode).
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flushes (emitting the buffered tail in ring mode) and returns the
+    /// underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first I/O error encountered, including any deferred
+    /// from the observer callbacks.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if let Some(ring) = self.ring.take() {
+            writeln!(self.out, "{}", Json::object([("c", Json::from(self.c))]))?;
+            for event in ring {
+                event.write_jsonl(&mut self.out)?;
+            }
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Configures a [`TraceWriter`] before the header is committed.
+#[derive(Debug)]
+pub struct TraceWriterBuilder<W: Write> {
+    out: W,
+    capacity: Option<usize>,
+}
+
+impl<W: Write> TraceWriterBuilder<W> {
+    /// Keep only the last `capacity` events (flight-recorder mode) and
+    /// write them at [`finish`](TraceWriter::finish) instead of streaming.
+    pub fn ring(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Commits the configuration for a run under compaction bound `c`.
+    pub fn begin(self, c: u64) -> TraceWriter<W> {
+        TraceWriter::start(self.out, c, self.capacity)
+    }
+}
+
+impl<W: Write> fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("c", &self.c)
+            .field("ring", &self.ring.is_some())
+            .field("events_seen", &self.written)
+            .field("events_dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl<W: Write> Observer for TraceWriter<W> {
+    fn on_event(&mut self, _tick: Tick, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let event = TraceEvent::from(event);
+        self.written += 1;
+        match &mut self.ring {
+            Some(ring) => {
+                if ring.len() == self.capacity {
+                    ring.pop_front();
+                    self.dropped += 1;
+                }
+                ring.push_back(event);
+            }
+            None => {
+                if let Err(e) = event.write_jsonl(&mut self.out) {
+                    self.error = Some(e);
+                }
+            }
+        }
     }
 }
 
@@ -349,6 +549,52 @@ mod tests {
         let err = trace.replay().unwrap_err();
         assert!(matches!(err.1, HeapError::Space(_)));
         assert_eq!(err.0, trace.events.len() - 1);
+    }
+
+    #[test]
+    fn streamed_jsonl_matches_in_memory_trace() {
+        let program = ScriptedProgram::new(Size::new(100))
+            .round([], [4, 4, 4])
+            .round([1], [8]);
+        let mut exec = Execution::new(Heap::non_moving(), program, Bump::default());
+        let mut rec = TraceRecorder::new(u64::MAX);
+        let mut writer = TraceWriter::new(Vec::new()).begin(u64::MAX);
+        let mut bus = crate::event::Observers::new();
+        bus.attach(&mut rec).attach(&mut writer);
+        exec.run_observed(&mut bus).unwrap();
+        drop(bus);
+        assert_eq!(writer.events_dropped(), 0);
+        let bytes = writer.finish().unwrap();
+        let streamed = Trace::from_jsonl(&String::from_utf8(bytes).unwrap()).unwrap();
+        assert_eq!(streamed, rec.into_trace());
+        assert!(streamed.replay().is_ok());
+    }
+
+    #[test]
+    fn ring_mode_keeps_only_the_tail() {
+        let mut writer = TraceWriter::new(Vec::new()).ring(2).begin(u64::MAX);
+        for round in 0..5u32 {
+            writer.on_event(round as Tick, &Event::RoundStart { round });
+        }
+        assert_eq!(writer.events_seen(), 5);
+        assert_eq!(writer.events_dropped(), 3);
+        let bytes = writer.finish().unwrap();
+        let tail = Trace::from_jsonl(&String::from_utf8(bytes).unwrap()).unwrap();
+        assert_eq!(
+            tail.events,
+            vec![
+                TraceEvent::RoundStart { round: 3 },
+                TraceEvent::RoundStart { round: 4 }
+            ]
+        );
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_streams() {
+        assert!(Trace::from_jsonl("").is_err());
+        assert!(Trace::from_jsonl("{\"not_c\":1}\n").is_err());
+        assert!(Trace::from_jsonl("{\"c\":10}\nnot json\n").is_err());
+        assert!(Trace::from_jsonl("{\"c\":10}\n{\"kind\":\"mystery\"}\n").is_err());
     }
 
     #[test]

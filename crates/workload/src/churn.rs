@@ -192,7 +192,7 @@ mod tests {
         let mut exec = Execution::new(
             heap,
             ChurnWorkload::new(cfg),
-            kind.build(10, cfg.m, cfg.log_n),
+            kind.build(&pcb_heap::Params::new(cfg.m, cfg.log_n, 10).expect("valid")),
         );
         exec.run().expect("churn runs")
     }

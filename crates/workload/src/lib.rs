@@ -21,11 +21,11 @@
 //! use pcb_heap::{Execution, Heap};
 //!
 //! let cfg = ChurnConfig::typical(1 << 12, 6);
-//! let manager = ManagerKind::FirstFit.build(10, cfg.m, cfg.log_n);
+//! let manager = ManagerKind::FirstFit.build(&pcb_heap::Params::new(cfg.m, cfg.log_n, 10)?);
 //! let mut exec = Execution::new(Heap::non_moving(), ChurnWorkload::new(cfg), manager);
 //! let report = exec.run()?;
 //! assert!(report.waste_factor < 2.0, "typical churn is mild");
-//! # Ok::<(), pcb_heap::ExecutionError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]

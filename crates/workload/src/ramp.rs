@@ -190,7 +190,7 @@ mod tests {
         let mut exec = Execution::new(
             heap,
             RampWorkload::new(cfg),
-            kind.build(10, cfg.m, cfg.log_n),
+            kind.build(&pcb_heap::Params::new(cfg.m, cfg.log_n, 10).expect("valid")),
         );
         exec.run().expect("ramp runs")
     }
@@ -244,7 +244,7 @@ mod tests {
             let mut exec = Execution::new(
                 Heap::unlimited_compaction(),
                 RampWorkload::new(cfg),
-                ManagerKind::FullCompaction.build(10, m, 6),
+                ManagerKind::FullCompaction.build(&pcb_heap::Params::new(m, 6, 10).expect("valid")),
             );
             exec.run().expect("runs")
         };

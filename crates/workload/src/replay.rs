@@ -177,7 +177,8 @@ mod tests {
         let mut exec = Execution::new(
             Heap::non_moving(),
             ChurnWorkload::new(cfg),
-            ManagerKind::FirstFit.build(10, cfg.m, cfg.log_n),
+            ManagerKind::FirstFit
+                .build(&pcb_heap::Params::new(cfg.m, cfg.log_n, 10).expect("valid")),
         );
         let mut rec = TraceRecorder::new(u64::MAX);
         exec.run_observed(&mut rec).expect("churn runs");
@@ -196,7 +197,7 @@ mod tests {
         let mut exec = Execution::new(
             Heap::non_moving(),
             workload,
-            ManagerKind::FirstFit.build(10, 1 << 12, 6),
+            ManagerKind::FirstFit.build(&pcb_heap::Params::new(1 << 12, 6, 10).expect("valid")),
         );
         let report = exec.run().expect("replay runs");
         assert_eq!(report.objects_placed as usize, placed_in_trace);
@@ -218,7 +219,11 @@ mod tests {
                 .iter()
                 .filter(|e| matches!(e, TraceEvent::Placed { .. }))
                 .count() as u64;
-            let mut exec = Execution::new(Heap::non_moving(), workload, kind.build(10, 1 << 12, 6));
+            let mut exec = Execution::new(
+                Heap::non_moving(),
+                workload,
+                kind.build(&pcb_heap::Params::new(1 << 12, 6, 10).expect("valid")),
+            );
             let report = exec.run().unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert_eq!(report.objects_placed, placed_expected, "{kind}");
             heap_sizes.push(report.heap_size);
@@ -242,7 +247,7 @@ mod tests {
         let mut exec = Execution::new(
             Heap::new(c),
             PfProgram::new(cfg),
-            ManagerKind::FirstFit.build(c, m, log_n),
+            ManagerKind::FirstFit.build(&pcb_heap::Params::new(m, log_n, c).expect("valid")),
         );
         let mut rec = TraceRecorder::new(c);
         let original = exec.run_observed(&mut rec).expect("P_F runs");
@@ -253,7 +258,7 @@ mod tests {
         let mut replay = Execution::new(
             Heap::non_moving(),
             workload,
-            ManagerKind::Buddy.build(c, m, log_n),
+            ManagerKind::Buddy.build(&pcb_heap::Params::new(m, log_n, c).expect("valid")),
         );
         let report = replay.run().expect("replay runs");
         assert!(report.heap_size > 0);

@@ -34,7 +34,11 @@ fn main() {
     let params = Params::new(1 << 16, 10, c).expect("valid demo parameters");
     println!("Running P_F against {manager} at {params} ...");
 
-    let report = sim::run(params, sim::Adversary::PF, manager, true).expect("simulation runs");
+    let report = sim::Sim::new(params)
+        .manager(manager)
+        .validate(true)
+        .run()
+        .expect("simulation runs");
     println!();
     println!("{report}");
     println!();

@@ -21,11 +21,15 @@ fn main() {
         let params = Params::new(m, log_n, c).expect("valid");
         let h = bounds::thm1::factor(params);
         let rho = bounds::thm1::optimal(params).map(|(r, _)| r).unwrap_or(0);
-        let ff = sim::run(params, sim::Adversary::PF, ManagerKind::FirstFit, false)
+        let ff = sim::Sim::new(params)
+            .manager(ManagerKind::FirstFit)
+            .run()
             .expect("runs")
             .execution
             .waste_factor;
-        let pages = sim::run(params, sim::Adversary::PF, ManagerKind::PagesThm2, false)
+        let pages = sim::Sim::new(params)
+            .manager(ManagerKind::PagesThm2)
+            .run()
             .expect("runs")
             .execution
             .waste_factor;

@@ -10,7 +10,7 @@
 //! density threshold, forcing every new allocation wave to fresh space.
 
 use partial_compaction::heap::{heat_map, Execution, Heap, NullObserver, Program};
-use partial_compaction::{ManagerKind, PfConfig, PfProgram};
+use partial_compaction::{ManagerKind, Params, PfConfig, PfProgram};
 
 fn main() {
     let manager: ManagerKind = std::env::args()
@@ -35,7 +35,8 @@ fn main() {
     } else {
         Heap::new(c)
     };
-    let mut exec = Execution::new(heap, PfProgram::new(cfg), manager.build(c, m, log_n));
+    let params = Params::new(m, log_n, c).expect("valid");
+    let mut exec = Execution::new(heap, PfProgram::new(cfg), manager.build(&params));
     let mut obs = NullObserver;
     let mut round = 0u32;
     while !exec.program().finished() {
@@ -62,8 +63,6 @@ fn main() {
     println!(
         "final: HS/M = {:.3} (Theorem 1 floor for c-partial managers: {:.3})",
         report.waste_factor,
-        partial_compaction::bounds::thm1::factor(
-            partial_compaction::Params::new(m, log_n, c).unwrap()
-        )
+        partial_compaction::bounds::thm1::factor(params)
     );
 }

@@ -26,7 +26,11 @@ fn main() {
     println!();
     println!("{:>16} {:>10} {:>8}", "manager", "HS", "HS/M");
     for kind in ManagerKind::NON_MOVING {
-        let report = sim::run(params, sim::Adversary::Robson, kind, false).expect("runs");
+        let report = sim::Sim::new(params)
+            .adversary(sim::Adversary::Robson)
+            .manager(kind)
+            .run()
+            .expect("runs");
         println!(
             "{:>16} {:>10} {:>8.3}{}",
             report.execution.manager,
@@ -45,7 +49,7 @@ fn main() {
     println!();
     println!("Offset-selection trace against robson-aligned:");
     let program = RobsonProgram::new(m, log_n);
-    let manager = ManagerKind::Robson.build(10, m, log_n);
+    let manager = ManagerKind::Robson.build(&params);
     let mut exec = Execution::new(Heap::non_moving(), program, manager);
     exec.run().expect("runs");
     let (heap, program, _) = exec.into_parts();

@@ -17,13 +17,21 @@
 //! --m <words>  --log-n <k>  --c <c>            (default 65536, 10, 20)
 //! --map                                        print a heap heat map
 //! --validate                                   run the Claim 4.16 checks
+//! --series <file.csv|file.json>                per-round metrics to a file
+//! --every <k>                                  sample cadence (default 1)
+//! --stats                                      print manager counters
 //! ```
+//!
+//! `record` writes the paper's JSON trace format, or a streaming JSONL
+//! trace (one event per line, constant memory) when the target ends in
+//! `.jsonl`; `replay` accepts both.
 
 use std::process::ExitCode;
 
 use partial_compaction::heap::{heat_map_rows, Execution, Heap, Program, TraceRecorder};
 use partial_compaction::workload::{ChurnConfig, ChurnWorkload, RampConfig, RampWorkload};
 use partial_compaction::{bounds, figures, ManagerKind, Params, PfConfig, PfProgram};
+use partial_compaction::{Observers, TimeSeries, TraceWriter};
 use partial_compaction::{PfVariant, RobsonProgram};
 
 fn main() -> ExitCode {
@@ -71,9 +79,10 @@ usage:
   pcb figure <1|2|3> [--plot]
   pcb simulate [--program pf|pf-baseline|robson|churn|ramp]
                [--manager <name>] [--m <words>] [--log-n <k>] [--c <c>]
-               [--map] [--validate]
-  pcb record <file.json> [simulate options]
-  pcb replay <file.json>
+               [--map] [--validate] [--series <file>] [--every <k>]
+               [--stats]
+  pcb record <file.json|file.jsonl> [simulate options]
+  pcb replay <file.json|file.jsonl>
   pcb sweep <bound> c <M_words> <log2_n> <c_from> <c_to>
   pcb sweep <bound> n <M_over_n> <c> <logn_from> <logn_to>
   pcb sweep rho <M_words> <log2_n> <c>
@@ -187,6 +196,9 @@ struct SimOpts {
     c: u64,
     map: bool,
     validate: bool,
+    series: Option<String>,
+    every: u32,
+    stats: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
@@ -198,6 +210,9 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
         c: 20,
         map: false,
         validate: false,
+        series: None,
+        every: 1,
+        stats: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -222,6 +237,13 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
             "--c" => opts.c = value("--c")?.parse().map_err(|e| format!("--c: {e}"))?,
             "--map" => opts.map = true,
             "--validate" => opts.validate = true,
+            "--series" => opts.series = Some(value("--series")?),
+            "--every" => {
+                opts.every = value("--every")?
+                    .parse()
+                    .map_err(|e| format!("--every: {e}"))?
+            }
+            "--stats" => opts.stats = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -246,7 +268,7 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     } else {
         u64::MAX
     };
-    let manager = opts.manager.build(opts.c, opts.m, opts.log_n);
+    let manager = opts.manager.build(&params);
 
     let program: Box<dyn Program> = match opts.program.as_str() {
         "pf" | "pf-baseline" => {
@@ -266,18 +288,62 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     };
 
     let mut exec = Execution::new(heap, program, manager);
-    let report = if let Some(path) = record_to {
-        let mut recorder = TraceRecorder::new(budget_c);
-        let report = exec
-            .run_observed(&mut recorder)
-            .map_err(|e| e.to_string())?;
-        let trace = recorder.into_trace();
-        std::fs::write(&path, trace.to_json()).map_err(|e| e.to_string())?;
-        println!("trace: {} events -> {path}", trace.len());
-        report
+    if opts.stats {
+        exec = exec.with_stats();
+    }
+
+    let mut series = opts
+        .series
+        .as_ref()
+        .map(|_| TimeSeries::new().every(opts.every));
+    let mut recorder = None;
+    let mut writer = None;
+    if let Some(path) = &record_to {
+        if path.ends_with(".jsonl") {
+            // Streaming mode: events go straight to disk, one JSON object
+            // per line, so arbitrarily long runs record in constant memory.
+            let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            writer = Some(TraceWriter::new(std::io::BufWriter::new(file)).begin(budget_c));
+        } else {
+            recorder = Some(TraceRecorder::new(budget_c));
+        }
+    }
+
+    let report = if series.is_some() || recorder.is_some() || writer.is_some() {
+        let mut bus = Observers::new();
+        if let Some(s) = series.as_mut() {
+            bus.attach(s);
+        }
+        if let Some(r) = recorder.as_mut() {
+            bus.attach(r);
+        }
+        if let Some(w) = writer.as_mut() {
+            bus.attach(w);
+        }
+        exec.run_observed(&mut bus).map_err(|e| e.to_string())?
     } else {
         exec.run().map_err(|e| e.to_string())?
     };
+
+    if let (Some(recorder), Some(path)) = (recorder, &record_to) {
+        let trace = recorder.into_trace();
+        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!("trace: {} events -> {path}", trace.len());
+    }
+    if let (Some(writer), Some(path)) = (writer, &record_to) {
+        let events = writer.events_seen();
+        writer.finish().map_err(|e| e.to_string())?;
+        println!("trace: {events} events streamed -> {path}");
+    }
+    if let (Some(path), Some(series)) = (&opts.series, series) {
+        let out = if path.ends_with(".json") {
+            pcb_json::ToJson::to_json(&series).to_string()
+        } else {
+            series.to_csv()
+        };
+        std::fs::write(path, out).map_err(|e| e.to_string())?;
+        println!("series: {} samples -> {path}", series.len());
+    }
 
     println!(
         "{} vs {}: HS = {} words, HS/M = {:.3}, moved = {:.4}",
@@ -293,6 +359,9 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
             "theorem 1 bound h = {h:.3}; measured/bound = {:.3}",
             report.waste_factor / h
         );
+    }
+    if let Some(stats) = exec.take_stats() {
+        println!("stats: {}", pcb_json::ToJson::to_json(&stats));
     }
     if opts.map {
         println!("{}", heat_map_rows(exec.heap(), 72, 4));
@@ -388,7 +457,11 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         return Err("replay needs a trace file".into());
     };
     let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let trace = partial_compaction::heap::Trace::from_json(&json)?;
+    let trace = if path.ends_with(".jsonl") {
+        partial_compaction::heap::Trace::from_jsonl(&json)?
+    } else {
+        partial_compaction::heap::Trace::from_json(&json)?
+    };
     match trace.replay() {
         Ok(heap) => {
             println!(

@@ -9,7 +9,11 @@ fn pf_certifies_theorem_1_for_the_whole_suite() {
     let h = bounds::thm1::factor(params);
     assert!(h > 1.5, "the bound must be non-trivial for this test");
     for kind in ManagerKind::ALL {
-        let report = sim::run(params, sim::Adversary::PF, kind, true).expect("runs");
+        let report = sim::Sim::new(params)
+            .manager(kind)
+            .validate(true)
+            .run()
+            .expect("runs");
         assert!(
             report.execution.waste_factor >= h * 0.95,
             "{kind}: {} < {h}",
@@ -29,7 +33,7 @@ fn compacting_managers_stay_legal_and_both_bounds_sandwich_them() {
     let lower = bounds::thm1::factor(params);
     let upper = bounds::thm2::factor(params).expect("applies");
     for kind in ManagerKind::COMPACTING {
-        let report = sim::run(params, sim::Adversary::PF, kind, false).expect("runs");
+        let report = sim::Sim::new(params).manager(kind).run().expect("runs");
         assert!(report.execution.moved_fraction <= 0.05 + 1e-12, "{kind}");
         assert!(
             report.execution.waste_factor >= lower * 0.95,
@@ -51,7 +55,11 @@ fn all_pf_variants_run_against_all_managers() {
     let params = Params::new(1 << 13, 9, 15).expect("valid");
     for kind in ManagerKind::ALL {
         for variant in [PfVariant::FULL, PfVariant::BASELINE] {
-            let report = sim::run(params, sim::Adversary::Pf(variant), kind, false).expect("runs");
+            let report = sim::Sim::new(params)
+                .adversary(sim::Adversary::Pf(variant))
+                .manager(kind)
+                .run()
+                .expect("runs");
             assert!(report.execution.peak_live <= params.m(), "{kind}");
             assert!(report.execution.waste_factor >= 1.0, "{kind}");
         }
@@ -62,7 +70,11 @@ fn all_pf_variants_run_against_all_managers() {
 fn robson_certifies_his_bound_for_non_moving_managers() {
     let params = Params::new(1 << 12, 6, 10).expect("valid");
     for kind in ManagerKind::NON_MOVING {
-        let report = sim::run(params, sim::Adversary::Robson, kind, false).expect("runs");
+        let report = sim::Sim::new(params)
+            .adversary(sim::Adversary::Robson)
+            .manager(kind)
+            .run()
+            .expect("runs");
         assert!(
             report.waste_over_bound >= 1.0,
             "{kind}: ratio {}",
@@ -74,7 +86,10 @@ fn robson_certifies_his_bound_for_non_moving_managers() {
 #[test]
 fn reports_serialize_to_json() {
     let params = Params::new(1 << 12, 8, 10).expect("valid");
-    let report = sim::run(params, sim::Adversary::PF, ManagerKind::Buddy, false).expect("runs");
+    let report = sim::Sim::new(params)
+        .manager(ManagerKind::Buddy)
+        .run()
+        .expect("runs");
     let json = pcb_json::ToJson::to_json(&report).to_string();
     assert!(json.contains("\"waste_over_bound\""));
     assert!(json.contains("\"manager\":\"buddy\""));
@@ -86,8 +101,10 @@ fn theory_scales_with_m_but_simulation_ratio_stays_stable() {
     // 2n/M); the measured ratio should stay near or above 1 across M.
     for m_shift in [13u32, 14, 15] {
         let params = Params::new(1 << m_shift, 9, 20).expect("valid");
-        let report =
-            sim::run(params, sim::Adversary::PF, ManagerKind::FirstFit, false).expect("runs");
+        let report = sim::Sim::new(params)
+            .manager(ManagerKind::FirstFit)
+            .run()
+            .expect("runs");
         assert!(
             report.waste_over_bound >= 0.95,
             "M=2^{m_shift}: {}",

@@ -7,12 +7,13 @@
 //! behaviour change should update them consciously.
 
 use partial_compaction::heap::{Execution, Heap, TraceRecorder};
-use partial_compaction::{ManagerKind, PfConfig, PfProgram};
+use partial_compaction::{ManagerKind, Params, PfConfig, PfProgram};
 
 fn record(kind: ManagerKind) -> (partial_compaction::heap::Trace, partial_compaction::Report) {
     let (m, log_n, c) = (1u64 << 12, 8u32, 10u64);
     let cfg = PfConfig::new(m, log_n, c).expect("feasible");
-    let mut exec = Execution::new(Heap::new(c), PfProgram::new(cfg), kind.build(c, m, log_n));
+    let params = Params::new(m, log_n, c).expect("valid");
+    let mut exec = Execution::new(Heap::new(c), PfProgram::new(cfg), kind.build(&params));
     let mut rec = TraceRecorder::new(c);
     let report = exec.run_observed(&mut rec).expect("runs");
     (rec.into_trace(), report)
@@ -77,7 +78,7 @@ fn checked_in_golden_trace_still_matches_the_implementation() {
     let mut exec = Execution::new(
         Heap::new(c),
         PfProgram::new(cfg),
-        ManagerKind::FirstFit.build(c, m, log_n),
+        ManagerKind::FirstFit.build(&Params::new(m, log_n, c).expect("valid")),
     );
     let mut rec = TraceRecorder::new(c);
     exec.run_observed(&mut rec).expect("runs");

@@ -13,7 +13,10 @@ use partial_compaction::{bounds, sim, ManagerKind, Params};
 fn large_scale_lower_bound_certification() {
     let params = Params::new(1 << 18, 12, 50).expect("valid");
     for kind in ManagerKind::ALL {
-        let report = sim::run(params, sim::Adversary::PF, kind, true)
+        let report = sim::Sim::new(params)
+            .manager(kind)
+            .validate(true)
+            .run()
             .unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert!(
             report.waste_over_bound >= 0.97,
@@ -45,7 +48,7 @@ fn long_churn_against_every_manager() {
         let mut exec = Execution::new(
             heap,
             ChurnWorkload::new(cfg),
-            kind.build(10, cfg.m, cfg.log_n),
+            kind.build(&Params::new(cfg.m, cfg.log_n, 10).expect("valid")),
         );
         let report = exec.run().unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert!(report.objects_placed > 100_000, "{kind}");
