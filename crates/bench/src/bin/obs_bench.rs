@@ -16,10 +16,16 @@
 //! ```
 //!
 //! `--smoke` shrinks the grid and runs one iteration (CI); the default
-//! takes the best of three. The artifact lands at `BENCH_obs.json`
-//! unless `--out` overrides it.
+//! *interleaves* the three modes round-robin for five iterations and
+//! reports the **median** per mode. Interleaving spreads slow drift
+//! (thermal, cache, scheduler) evenly across modes and the median rejects
+//! one-off outliers — a single-shot comparison of back-to-back phases can
+//! easily report a "negative overhead" that is pure noise. The artifact
+//! lands at `BENCH_obs.json` unless `--out` overrides it.
 
 use std::time::Instant;
+
+use pcb_telemetry as telemetry;
 
 use partial_compaction::{
     sim, Execution, Heap, ManagerKind, Params, PfConfig, PfProgram, TraceWriter,
@@ -95,16 +101,23 @@ fn run_attached(cells: &[(Params, ManagerKind)]) -> (String, u64) {
     (out.join("\n"), events)
 }
 
-/// Best-of-`iters` wall clock plus the last result.
-fn timed<T>(iters: u32, run: impl Fn() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut value = None;
-    for _ in 0..iters {
-        let start = Instant::now();
-        value = Some(run());
-        best = best.min(start.elapsed().as_secs_f64());
+/// One timed call.
+fn timed<T>(run: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let value = run();
+    (start.elapsed().as_secs_f64(), value)
+}
+
+/// Median of the collected samples (mean of the middle two when even).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
     }
-    (best, value.expect("iters > 0"))
 }
 
 fn main() {
@@ -120,32 +133,61 @@ fn main() {
         },
         None => "BENCH_obs.json".into(),
     };
-    let iters: u32 = if smoke { 1 } else { 3 };
+    let iters: u32 = if smoke { 1 } else { 5 };
     let cells = grid(smoke);
 
-    let (raw_seconds, raw_fp) = timed(iters, || run_raw(&cells));
-    let (detached_seconds, detached_fp) = timed(iters, || run_detached(&cells));
-    assert_eq!(
-        raw_fp, detached_fp,
-        "the detached builder must reproduce the raw engine exactly"
-    );
-    let (attached_seconds, (attached_fp, events)) = timed(iters, || run_attached(&cells));
-    assert_eq!(
-        raw_fp, attached_fp,
-        "observation must not change any report field"
-    );
+    // Round-robin the three modes within each iteration so slow machine
+    // drift lands on all of them equally, then take per-mode medians.
+    let mut raw_samples = Vec::new();
+    let mut detached_samples = Vec::new();
+    let mut attached_samples = Vec::new();
+    let mut events = 0u64;
+    for _ in 0..iters {
+        let (raw_s, raw_fp) = {
+            let _span = telemetry::span!("bench.raw");
+            timed(|| run_raw(&cells))
+        };
+        let (detached_s, detached_fp) = {
+            let _span = telemetry::span!("bench.detached");
+            timed(|| run_detached(&cells))
+        };
+        assert_eq!(
+            raw_fp, detached_fp,
+            "the detached builder must reproduce the raw engine exactly"
+        );
+        let (attached_s, (attached_fp, iter_events)) = {
+            let _span = telemetry::span!("bench.attached");
+            timed(|| run_attached(&cells))
+        };
+        assert_eq!(
+            raw_fp, attached_fp,
+            "observation must not change any report field"
+        );
+        raw_samples.push(raw_s);
+        detached_samples.push(detached_s);
+        attached_samples.push(attached_s);
+        events = iter_events;
+    }
+    let raw_seconds = median(&raw_samples);
+    let detached_seconds = median(&detached_samples);
+    let attached_seconds = median(&attached_samples);
 
     let detached_pct = (detached_seconds / raw_seconds - 1.0) * 100.0;
     let attached_pct = (attached_seconds / detached_seconds - 1.0) * 100.0;
     eprintln!(
-        "{} cells: raw {raw_seconds:.3}s, detached {detached_seconds:.3}s \
-         ({detached_pct:+.1}%), attached {attached_seconds:.3}s \
-         ({attached_pct:+.1}% over detached, {events} events streamed)",
+        "{} cells, median of {iters}: raw {raw_seconds:.3}s, detached \
+         {detached_seconds:.3}s ({detached_pct:+.1}%), attached \
+         {attached_seconds:.3}s ({attached_pct:+.1}% over detached, \
+         {events} events streamed)",
         cells.len()
     );
 
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let report = Json::object([
         ("smoke", Json::from(smoke)),
+        ("host_cores", Json::from(host_cores)),
         ("iters_per_config", Json::from(iters)),
         ("cells", Json::from(cells.len())),
         ("raw_seconds", Json::from(raw_seconds)),

@@ -7,14 +7,23 @@
 //! times, throughput, and speedups.
 //!
 //! ```text
-//! cargo run --release -p pcb-bench --bin parallel_bench [-- --smoke] [-- --out <path>]
+//! cargo run --release -p pcb-bench --bin parallel_bench \
+//!     [-- --smoke] [-- --out <path>] [-- --trace-out <path>]
 //! ```
 //!
 //! `--smoke` shrinks every workload and runs one iteration (CI); the
 //! default takes the best of three iterations per configuration. The
 //! artifact lands at `BENCH_parallel.json` unless `--out` overrides it.
+//! `--trace-out` records an engine span trace of the whole benchmark and
+//! writes it in Chrome trace-event format (Perfetto-loadable).
+//!
+//! The artifact records `host_cores` next to `threads`: a "speedup"
+//! measured with more worker threads than physical cores is time-slicing,
+//! not parallelism, and the bench says so instead of implying a claim.
 
 use std::time::Instant;
+
+use pcb_telemetry as telemetry;
 
 use partial_compaction::exhaustive::{worst_case, SearchPolicy};
 use partial_compaction::sweep::{over_c, Bound};
@@ -121,19 +130,24 @@ fn timed(iters: u32, run: &dyn Fn() -> String) -> (f64, String) {
     (best, fingerprint)
 }
 
+/// Value of `--<flag> <path>` style options.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a path");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(path) => path.clone(),
-            None => {
-                eprintln!("error: --out requires a path");
-                std::process::exit(2);
-            }
-        },
-        None => "BENCH_parallel.json".into(),
-    };
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_parallel.json".into());
+    let trace_out = flag_value(&args, "--trace-out");
+    if trace_out.is_some() {
+        telemetry::enable();
+    }
     let iters: u32 = if smoke { 1 } else { 3 };
 
     // The parallel phase honours whatever PCB_THREADS the caller set; the
@@ -148,6 +162,9 @@ fn main() {
     };
     restore();
     let threads = parallel::thread_count();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
 
     let workloads = [
         sweep_workload(smoke),
@@ -159,9 +176,15 @@ fn main() {
     let (mut total_seq, mut total_par) = (0.0f64, 0.0f64);
     for workload in &workloads {
         std::env::set_var("PCB_THREADS", "1");
-        let (seq_seconds, seq_fingerprint) = timed(iters, &workload.run);
+        let (seq_seconds, seq_fingerprint) = {
+            let _span = telemetry::span!("bench.sequential");
+            timed(iters, &workload.run)
+        };
         restore();
-        let (par_seconds, par_fingerprint) = timed(iters, &workload.run);
+        let (par_seconds, par_fingerprint) = {
+            let _span = telemetry::span!("bench.parallel");
+            timed(iters, &workload.run)
+        };
         assert_eq!(
             seq_fingerprint, par_fingerprint,
             "{}: parallel run diverged from sequential",
@@ -188,9 +211,23 @@ fn main() {
         ]));
     }
 
+    // A run that oversubscribes the host (more worker threads than cores)
+    // measures time-slicing overhead, not parallel speedup; say so rather
+    // than implying a claim the hardware cannot support.
+    let speedup_meaningful = host_cores >= threads;
+    if !speedup_meaningful {
+        eprintln!(
+            "warning: {threads} threads on a {host_cores}-core host — the \
+             \"speedup\" figures measure oversubscription, not parallelism; \
+             treat them as a correctness exercise only"
+        );
+    }
+
     let report = Json::object([
         ("smoke", Json::from(smoke)),
         ("threads", Json::from(threads)),
+        ("host_cores", Json::from(host_cores)),
+        ("speedup_meaningful", Json::from(speedup_meaningful)),
         ("iters_per_config", Json::from(iters)),
         ("workloads", Json::Array(rows)),
         ("total_seq_seconds", Json::from(total_seq)),
@@ -198,8 +235,25 @@ fn main() {
         ("overall_speedup", Json::from(total_seq / total_par)),
     ]);
     std::fs::write(&out_path, format!("{report}\n")).expect("write artifact");
-    eprintln!(
-        "overall speedup {:.2}x on {threads} threads -> {out_path}",
-        total_seq / total_par
-    );
+    if speedup_meaningful {
+        eprintln!(
+            "overall speedup {:.2}x on {threads} threads ({host_cores} cores) -> {out_path}",
+            total_seq / total_par
+        );
+    } else {
+        eprintln!(
+            "seq/par identity verified on {threads} threads ({host_cores} cores) -> {out_path}"
+        );
+    }
+    if let Some(path) = trace_out {
+        telemetry::disable();
+        let trace = telemetry::take_trace();
+        let doc = trace.to_chrome_trace();
+        std::fs::write(&path, format!("{doc}\n")).expect("write trace");
+        eprintln!(
+            "trace: {} spans on {} tracks -> {path}",
+            trace.len(),
+            trace.tracks.len()
+        );
+    }
 }

@@ -109,6 +109,7 @@ pub struct WorstCase {
 /// Panics if the reachable configurations exceed `max_states` (the
 /// parameters were not "toy" enough) or the address `limit` is hit.
 pub fn worst_case(params: Params, policy: SearchPolicy, max_states: usize) -> WorstCase {
+    let _span = pcb_telemetry::span!("exhaustive.worst_case");
     let m = params.m();
     let limit = 4 * m * (params.log_n() as u64 + 2);
     // Sizes: the P2 discipline.
@@ -173,6 +174,9 @@ pub fn worst_case(params: Params, policy: SearchPolicy, max_states: usize) -> Wo
     };
 
     while !frontier.is_empty() {
+        // One span per BFS level: a trace of the search shows the level
+        // widths growing and the dedup fan-out taking over.
+        let _level_span = pcb_telemetry::span!("exhaustive.level");
         // Level-synchronous expansion: fan the frontier across threads.
         let expanded: Vec<(u64, Vec<State>)> = if frontier.len() >= PAR_LEVEL {
             parallel::par_map(&frontier, |state| expand(state))
@@ -191,6 +195,7 @@ pub fn worst_case(params: Params, policy: SearchPolicy, max_states: usize) -> Wo
         }
 
         let total_succ: usize = by_shard.iter().map(Vec::len).sum();
+        let _dedup_span = pcb_telemetry::span!("exhaustive.dedup");
         frontier = if shards > 1 && total_succ >= PAR_LEVEL {
             let mut fresh_by_shard: Vec<Vec<State>> = Vec::with_capacity(shards);
             std::thread::scope(|scope| {

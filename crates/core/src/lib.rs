@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod benchdiff;
 pub mod bounds;
 pub mod exhaustive;
 pub mod figures;
@@ -78,6 +79,7 @@ pub use params::{Params, ParamsError};
 pub use pcb_adversary as adversary;
 pub use pcb_alloc as alloc;
 pub use pcb_heap as heap;
+pub use pcb_telemetry as telemetry;
 pub use pcb_workload as workload;
 
 // The most-used types, flattened for convenience.

@@ -51,6 +51,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    let _span = pcb_telemetry::span!("parallel.par_map");
     let threads = thread_count().min(items.len());
     if threads <= 1 {
         return items.iter().map(f).collect();
@@ -62,6 +63,10 @@ where
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    // One span per shard lifetime: in a trace each worker
+                    // renders as its own track, so load imbalance between
+                    // shards is visible as ragged lane ends.
+                    let _span = pcb_telemetry::span!("parallel.worker");
                     let mut produced = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);

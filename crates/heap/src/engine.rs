@@ -198,11 +198,16 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     /// observer is attached at all on this path: events are neither
     /// constructed nor dispatched, so the per-tick cost is zero.
     ///
+    /// The run is wrapped in an `engine.run` telemetry span (with
+    /// per-round phase spans inside); when telemetry is disabled — the
+    /// default — each span is a single relaxed atomic load.
+    ///
     /// # Errors
     ///
     /// Propagates the first [`ExecutionError`]; the execution state remains
     /// inspectable afterwards.
     pub fn run(&mut self) -> Result<Report, ExecutionError> {
+        let _span = pcb_telemetry::span!("engine.run");
         while !self.program.finished() && self.round < self.max_rounds {
             self.step_round_inner(None)?;
         }
@@ -216,6 +221,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     ///
     /// Propagates the first [`ExecutionError`].
     pub fn run_observed(&mut self, observer: &mut dyn Observer) -> Result<Report, ExecutionError> {
+        let _span = pcb_telemetry::span!("engine.run");
         while !self.program.finished() && self.round < self.max_rounds {
             self.step_round_inner(Some(observer))?;
         }
@@ -246,7 +252,9 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             round: self.round,
         });
 
-        // Phase 1: de-allocation.
+        // Phase 1: de-allocation. The span covers the program's free
+        // decisions as well as the heap bookkeeping they trigger.
+        let free_span = pcb_telemetry::span!("engine.free");
         for id in self.program.frees() {
             let (addr, size) = self
                 .heap
@@ -259,9 +267,13 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
                 size,
             });
         }
+        drop(free_span);
 
         // Phases 2+3: compaction happens inside the manager's `place`, per
-        // request, through budget-enforcing `HeapOps`.
+        // request, through budget-enforcing `HeapOps`. Relocations open
+        // nested `engine.compact` spans, so the allocate span's self-time
+        // is pure placement work.
+        let alloc_span = pcb_telemetry::span!("engine.alloc");
         for size in self.program.allocs() {
             let id = self.heap.fresh_id();
             let addr = {
@@ -294,6 +306,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
                 return Err(ExecutionError::LiveSpaceExceeded { live, bound });
             }
         }
+        drop(alloc_span);
 
         Self::emit(&mut observer, &mut self.tick, || Event::RoundEnd {
             round: self.round,
@@ -302,6 +315,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         // heap itself, not just the event stream. Ticks are unaffected, so
         // observed and unobserved runs still number events identically.
         if let Some(obs) = observer {
+            let _span = pcb_telemetry::span!("engine.observe");
             obs.on_round_end(self.round, &self.heap);
         }
         self.program.round_done();

@@ -20,7 +20,14 @@
 //! --series <file.csv|file.json>                per-round metrics to a file
 //! --every <k>                                  sample cadence (default 1)
 //! --stats                                      print manager counters
+//! --trace-out <file.json>                      engine span trace (Perfetto)
+//! --profile                                    print the span profile table
 //! ```
+//!
+//! `bench diff` compares a fresh benchmark artifact against a checked-in
+//! baseline: structure and identity fields strictly, timing fields within
+//! `--tolerance` percent, and host metadata (`smoke`/`threads`/
+//! `host_cores`) gating whether timing is compared at all.
 //!
 //! `record` writes the paper's JSON trace format, or a streaming JSONL
 //! trace (one event per line, constant memory) when the target ends in
@@ -30,7 +37,9 @@ use std::process::ExitCode;
 
 use partial_compaction::heap::{heat_map_rows, Execution, Heap, Program, TraceRecorder};
 use partial_compaction::workload::{ChurnConfig, ChurnWorkload, RampConfig, RampWorkload};
-use partial_compaction::{bounds, figures, ManagerKind, Params, PfConfig, PfProgram};
+use partial_compaction::{
+    benchdiff, bounds, figures, telemetry, ManagerKind, Params, PfConfig, PfProgram,
+};
 use partial_compaction::{Observers, TimeSeries, TraceWriter};
 use partial_compaction::{PfVariant, RobsonProgram};
 
@@ -48,6 +57,10 @@ fn main() -> ExitCode {
             }
         }
         Some("replay") => cmd_replay(&args[1..]),
+        Some("bench") => match cmd_bench(&args[1..]) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("worst-case") => cmd_worst_case(&args[1..]),
         Some("reproduce") => {
@@ -83,6 +96,7 @@ usage:
                [--stats]
   pcb record <file.json|file.jsonl> [simulate options]
   pcb replay <file.json|file.jsonl>
+  pcb bench diff <new.json> --against <baseline.json> [--tolerance <pct>]
   pcb sweep <bound> c <M_words> <log2_n> <c_from> <c_to>
   pcb sweep <bound> n <M_over_n> <c> <logn_from> <logn_to>
   pcb sweep rho <M_words> <log2_n> <c>
@@ -199,6 +213,8 @@ struct SimOpts {
     series: Option<String>,
     every: u32,
     stats: bool,
+    trace_out: Option<String>,
+    profile: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
@@ -213,6 +229,8 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
         series: None,
         every: 1,
         stats: false,
+        trace_out: None,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -244,6 +262,8 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
                     .map_err(|e| format!("--every: {e}"))?
             }
             "--stats" => opts.stats = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--profile" => opts.profile = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -253,6 +273,9 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
 fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let params = Params::new(opts.m, opts.log_n, opts.c).map_err(|e| e.to_string())?;
+    if opts.trace_out.is_some() || opts.profile {
+        telemetry::enable();
+    }
 
     let heap = if opts.manager.is_unbounded() {
         Heap::unlimited_compaction()
@@ -366,7 +389,70 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     if opts.map {
         println!("{}", heat_map_rows(exec.heap(), 72, 4));
     }
+    if opts.trace_out.is_some() || opts.profile {
+        telemetry::disable();
+        let trace = telemetry::take_trace();
+        if let Some(path) = &opts.trace_out {
+            let doc = trace.to_chrome_trace();
+            std::fs::write(path, format!("{doc}\n")).map_err(|e| e.to_string())?;
+            println!(
+                "trace: {} spans on {} tracks -> {path} (load it at https://ui.perfetto.dev)",
+                trace.len(),
+                trace.tracks.len()
+            );
+        }
+        if opts.profile {
+            print!("{}", telemetry::Profile::from_trace(&trace).render_table());
+        }
+    }
     Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_bench_diff(&args[1..]),
+        _ => Err(
+            "bench supports: diff <new.json> --against <baseline.json> [--tolerance <pct>]".into(),
+        ),
+    }
+}
+
+fn cmd_bench_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut new_path = None;
+    let mut baseline = None;
+    let mut tolerance = 10.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--against" => {
+                baseline = Some(
+                    it.next()
+                        .ok_or_else(|| "--against needs a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or_else(|| "--tolerance needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path if new_path.is_none() => new_path = Some(path.to_owned()),
+            extra => return Err(format!("unexpected argument {extra}")),
+        }
+    }
+    let new_path = new_path.ok_or("bench diff needs the new artifact path")?;
+    let baseline = baseline.ok_or("bench diff needs --against <baseline.json>")?;
+    let report = benchdiff::compare_files(&new_path, &baseline, tolerance)?;
+    println!("comparing {new_path} against {baseline} (tolerance {tolerance}%)");
+    print!("{}", report.render());
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {

@@ -138,3 +138,152 @@ fn no_arguments_prints_usage() {
     assert!(!ok);
     assert!(stderr.contains("usage:"));
 }
+
+/// Writes `text` under a unique name in the shared CLI temp dir.
+fn temp_file(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+const BASELINE_BENCH: &str = r#"{"smoke": false, "threads": 4, "host_cores": 4,
+    "cells": 8, "raw_seconds": 1.0, "detached_overhead_pct": -7.0,
+    "attached_within_budget": true}"#;
+
+#[test]
+fn bench_diff_passes_on_self_comparison() {
+    let path = temp_file("diff-self.json", BASELINE_BENCH);
+    let p = path.to_str().unwrap();
+    let (stdout, _, ok) = pcb(&["bench", "diff", p, "--against", p]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("pass:"), "{stdout}");
+    assert!(stdout.contains("0 failures"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bench_diff_fails_on_timing_regression() {
+    let baseline = temp_file("diff-base.json", BASELINE_BENCH);
+    let regressed = temp_file(
+        "diff-regressed.json",
+        &BASELINE_BENCH.replace("\"raw_seconds\": 1.0", "\"raw_seconds\": 2.0"),
+    );
+    let (stdout, _, ok) = pcb(&[
+        "bench",
+        "diff",
+        regressed.to_str().unwrap(),
+        "--against",
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "25",
+    ]);
+    assert!(!ok, "a 2x timing regression must gate:\n{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("raw_seconds"), "{stdout}");
+    std::fs::remove_file(baseline).ok();
+    std::fs::remove_file(regressed).ok();
+}
+
+#[test]
+fn bench_diff_never_gates_across_hosts() {
+    // Different host metadata + a huge timing delta: informational only.
+    let baseline = temp_file("diff-host-base.json", BASELINE_BENCH);
+    let other_host = temp_file(
+        "diff-host-new.json",
+        &BASELINE_BENCH
+            .replace("\"host_cores\": 4", "\"host_cores\": 1")
+            .replace("\"raw_seconds\": 1.0", "\"raw_seconds\": 5.0"),
+    );
+    let (stdout, _, ok) = pcb(&[
+        "bench",
+        "diff",
+        other_host.to_str().unwrap(),
+        "--against",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(ok, "cross-host timing deltas must not gate:\n{stdout}");
+    assert!(stdout.contains("host metadata differs"), "{stdout}");
+    assert!(stdout.contains("host_cores"), "{stdout}");
+    std::fs::remove_file(baseline).ok();
+    std::fs::remove_file(other_host).ok();
+}
+
+#[test]
+fn bench_diff_gates_structure_even_across_hosts() {
+    let baseline = temp_file("diff-struct-base.json", BASELINE_BENCH);
+    let missing_field = temp_file(
+        "diff-struct-new.json",
+        &BASELINE_BENCH.replace("\"cells\": 8, ", ""),
+    );
+    let (stdout, _, ok) = pcb(&[
+        "bench",
+        "diff",
+        missing_field.to_str().unwrap(),
+        "--against",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(!ok, "a dropped field is a schema break:\n{stdout}");
+    assert!(stdout.contains("missing from the new artifact"), "{stdout}");
+    std::fs::remove_file(baseline).ok();
+    std::fs::remove_file(missing_field).ok();
+}
+
+#[test]
+fn bench_diff_rejects_missing_arguments() {
+    let (_, stderr, ok) = pcb(&["bench", "diff"]);
+    assert!(!ok);
+    assert!(stderr.contains("new artifact path"), "{stderr}");
+    let (_, stderr, ok) = pcb(&["bench"]);
+    assert!(!ok);
+    assert!(stderr.contains("bench supports: diff"), "{stderr}");
+}
+
+#[test]
+fn simulate_trace_out_emits_chrome_trace_events() {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spans.json");
+    let path_str = path.to_str().unwrap();
+    let (stdout, _, ok) = pcb(&[
+        "simulate",
+        "--m",
+        "8192",
+        "--log-n",
+        "9",
+        "--c",
+        "15",
+        "--trace-out",
+        path_str,
+        "--profile",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("trace:"), "{stdout}");
+    // The profile table aggregates the engine phases.
+    for phase in ["engine.run", "engine.alloc", "engine.free"] {
+        assert!(stdout.contains(phase), "missing {phase} in:\n{stdout}");
+    }
+
+    // The file must round-trip through pcb-json as Chrome trace-event
+    // JSON: a traceEvents array of "M" metadata and "X" complete events.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = pcb_json::Json::parse(&text).expect("trace is valid JSON");
+    let pcb_json::Json::Object(top) = &doc else {
+        panic!("top level must be an object")
+    };
+    let Some(pcb_json::Json::Array(events)) = top.get("traceEvents") else {
+        panic!("traceEvents array missing in {text}")
+    };
+    assert!(!events.is_empty());
+    let phase_of = |ev: &pcb_json::Json| match ev {
+        pcb_json::Json::Object(fields) => match fields.get("ph") {
+            Some(pcb_json::Json::Str(ph)) => ph.clone(),
+            other => panic!("ph must be a string, got {other:?}"),
+        },
+        other => panic!("event must be an object, got {other:?}"),
+    };
+    assert!(events.iter().any(|e| phase_of(e) == "M"));
+    assert!(events.iter().any(|e| phase_of(e) == "X"));
+    std::fs::remove_file(path).ok();
+}
