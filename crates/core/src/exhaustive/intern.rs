@@ -1,0 +1,199 @@
+//! Arena-backed state interning: the search's seen-set.
+//!
+//! The seed search deduplicated through `HashSet<Vec<(u64, u64)>>`: one
+//! heap allocation per retained state, a 24-byte `Vec` header in every
+//! table slot, and SipHash over 16 bytes per interval. The [`Interner`]
+//! replaces all of that with three flat arrays per dedup shard:
+//!
+//! * an append-only **arena** of `u16` payload words — each entry is a
+//!   length prefix followed by the packed payload, so retained states
+//!   share a handful of large allocations instead of owning one each;
+//! * an **offset table** mapping dense `u32` state ids to arena offsets;
+//! * an open-addressing **index** of `u32` ids (multiply-shift on the
+//!   precomputed [`PackedState`] hash, linear probing, ≤ 3/4 load) with a
+//!   parallel byte of hash **tag** per slot, so a slot costs 5 bytes
+//!   instead of a 32-byte owned key and a probe only dereferences the
+//!   arena after an 8-bit tag match (≈ 1/256 false-positive rate).
+//!
+//! Nothing is ever removed — a BFS seen-set only grows — which is what
+//! makes the append-only arena sound. Resizing the index rehashes from
+//! the arena payloads; entries themselves never move.
+
+use super::packed::PackedState;
+
+const EMPTY: u32 = u32::MAX;
+
+/// Deduplicating store of packed states for one shard of the seen-set.
+#[derive(Debug)]
+pub struct Interner {
+    arena: Vec<u16>,
+    offsets: Vec<u32>,
+    slots: Vec<u32>,
+    tags: Vec<u8>,
+    shift: u32,
+}
+
+/// Multiply-shift index: consumes the hash's high bits, which are
+/// independent of the low bits the search uses for shard routing.
+#[inline]
+fn index_of(hash: u64, shift: u32) -> usize {
+    (hash.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> shift) as usize
+}
+
+/// Per-slot filter byte. Drawn from hash bits that neither the slot
+/// index (multiplied high bits) nor the shard router (low bits) consume,
+/// so tags stay uncorrelated with probe position.
+#[inline]
+fn tag_of(hash: u64) -> u8 {
+    (hash >> 24) as u8
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interner {
+    /// An empty interner (16 index slots, nothing arena-allocated).
+    pub fn new() -> Interner {
+        Interner {
+            arena: Vec::new(),
+            offsets: Vec::new(),
+            slots: vec![EMPTY; 16],
+            tags: vec![0; 16],
+            shift: 64 - 4,
+        }
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Payload words stored (length prefixes included). Summed across
+    /// shards this is a deterministic function of the reachable set.
+    pub fn payload_words(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    /// Resident bytes: arena + offset table + index slots + tags, by
+    /// capacity.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.arena.capacity() * 2
+            + self.offsets.capacity() * 4
+            + self.slots.capacity() * 4
+            + self.tags.capacity()) as u64
+    }
+
+    fn payload_at(&self, id: u32) -> &[u16] {
+        let off = self.offsets[id as usize] as usize;
+        let words = self.arena[off] as usize;
+        &self.arena[off + 1..off + 1 + words]
+    }
+
+    /// Interns `state`; returns `true` when it was not already present.
+    pub fn insert(&mut self, state: &PackedState) -> bool {
+        let payload = state.payload();
+        let tag = tag_of(state.hash64());
+        let mask = self.slots.len() - 1;
+        let mut i = index_of(state.hash64(), self.shift);
+        loop {
+            match self.slots[i] {
+                EMPTY => break,
+                id if self.tags[i] == tag && self.payload_at(id) == payload => return false,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        let id = u32::try_from(self.offsets.len()).expect("fewer than 2^32 states per shard");
+        let off = u32::try_from(self.arena.len()).expect("arena stays under 2^32 words");
+        self.arena.push(payload.len() as u16);
+        self.arena.extend_from_slice(payload);
+        self.offsets.push(off);
+        self.slots[i] = id;
+        self.tags[i] = tag;
+        if self.offsets.len() * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        true
+    }
+
+    /// Doubles the index and rehashes every id from its arena payload;
+    /// arena and offsets are untouched.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        self.shift -= 1;
+        let mask = new_len - 1;
+        let mut slots = vec![EMPTY; new_len];
+        let mut tags = vec![0u8; new_len];
+        for id in 0..self.offsets.len() as u32 {
+            let hash = PackedState::hash_payload(self.payload_at(id));
+            let mut i = index_of(hash, self.shift);
+            while slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id;
+            tags[i] = tag_of(hash);
+        }
+        self.slots = slots;
+        self.tags = tags;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack(intervals: &[(u64, u64)]) -> PackedState {
+        let mut scratch = Vec::new();
+        PackedState::encode(intervals, None, &mut scratch)
+    }
+
+    #[test]
+    fn insert_dedups_and_counts() {
+        let mut interner = Interner::new();
+        assert!(interner.insert(&pack(&[])));
+        assert!(!interner.insert(&pack(&[])));
+        assert!(interner.insert(&pack(&[(0, 1)])));
+        assert!(interner.insert(&pack(&[(0, 2)])));
+        assert!(!interner.insert(&pack(&[(0, 1)])));
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn survives_growth_with_many_distinct_states() {
+        let mut interner = Interner::new();
+        let mut scratch = Vec::new();
+        for start in 0..500u64 {
+            for len in 1..5u64 {
+                let state = PackedState::encode(&[(start, len)], None, &mut scratch);
+                assert!(interner.insert(&state), "({start},{len}) is fresh");
+            }
+        }
+        assert_eq!(interner.len(), 2000);
+        // Everything is still findable after multiple resizes.
+        for start in 0..500u64 {
+            let state = PackedState::encode(&[(start, 3)], None, &mut scratch);
+            assert!(!interner.insert(&state));
+        }
+        assert_eq!(interner.len(), 2000);
+    }
+
+    #[test]
+    fn resident_bytes_track_capacity() {
+        let mut interner = Interner::new();
+        let before = interner.resident_bytes();
+        for start in 0..100u64 {
+            interner.insert(&pack(&[(start, 1)]));
+        }
+        assert!(interner.resident_bytes() > before);
+        // 100 states × 3 words ≈ 600 bytes of arena + small tables: the
+        // whole store stays well under the seed's per-state Vec overhead.
+        assert!(interner.resident_bytes() < 100 * 48);
+    }
+}

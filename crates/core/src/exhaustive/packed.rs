@@ -1,0 +1,300 @@
+//! The packed heap-configuration encoding behind the exhaustive search.
+//!
+//! The seed search represented a configuration as `Vec<(u64, u64)>` — 16
+//! bytes per interval plus a 24-byte `Vec` header plus one heap
+//! allocation per state, cloned for every successor. At toy scale every
+//! quantity is tiny: the address cap is `4·M·(log₂ n + 2)` words, so
+//! starts, lengths, and gaps all fit in a `u16`. [`PackedState`] exploits
+//! that:
+//!
+//! * intervals are **delta-encoded** — `[gap, len]` pairs of `u16`s where
+//!   `gap` is the free space before the interval — so the payload is
+//!   `2k` words for `k` intervals (plus one trailing word for policies
+//!   that carry a roving pointer, see
+//!   [`SearchPolicy::NextFit`](super::SearchPolicy::NextFit));
+//! * payloads of up to [`INLINE_WORDS`] words live **inline** in the
+//!   struct (covering ≤ 4 intervals, the vast majority of reachable
+//!   states at toy scale); longer payloads spill to one boxed slice;
+//! * the 64-bit **hash is precomputed** at encode time with an
+//!   FxHash-style multiply-rotate folded through a murmur3 finalizer, so
+//!   dedup never re-reads the payload to hash it and equality can
+//!   fast-reject on the hash.
+//!
+//! Encoding is streaming: [`PackedState::encode_splice`] and
+//! [`PackedState::encode_remove`] build a successor directly from the
+//! parent's decoded intervals without materializing an intermediate
+//! interval vector, writing through a caller-owned scratch buffer that is
+//! reused across the whole search.
+
+/// Payload words stored inline (4 delta-encoded intervals plus one
+/// optional rover word). Above this the payload spills to a boxed slice.
+pub const INLINE_WORDS: usize = 9;
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_fold(h: u64, word: u64) -> u64 {
+    (h.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// Murmur3's 64-bit finalizer: spreads the FxHash fold's entropy into the
+/// high bits, which the interner's multiply-shift indexing consumes.
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+#[derive(Debug, Clone)]
+enum Data {
+    Inline([u16; INLINE_WORDS]),
+    Spilled(Box<[u16]>),
+}
+
+/// A heap configuration packed into delta-encoded `u16` words with a
+/// precomputed hash; the state type of the exhaustive search.
+///
+/// Two states are equal iff their payloads are equal; the precomputed
+/// hash participates only as a fast reject. For 0–4 intervals the whole
+/// state is one small inline struct — no heap allocation at all.
+#[derive(Debug, Clone)]
+pub struct PackedState {
+    hash: u64,
+    words: u16,
+    data: Data,
+}
+
+impl PartialEq for PackedState {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.payload() == other.payload()
+    }
+}
+
+impl Eq for PackedState {}
+
+impl std::hash::Hash for PackedState {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Streaming writer: pushes payload words into a scratch buffer while
+/// folding them into the running hash.
+struct Writer<'a> {
+    scratch: &'a mut Vec<u16>,
+    hash: u64,
+    prev_end: u64,
+}
+
+impl<'a> Writer<'a> {
+    fn new(scratch: &'a mut Vec<u16>) -> Writer<'a> {
+        scratch.clear();
+        Writer {
+            scratch,
+            hash: FX_SEED,
+            prev_end: 0,
+        }
+    }
+
+    #[inline]
+    fn word(&mut self, word: u64) {
+        debug_assert!(word <= u16::MAX as u64, "payload word overflows u16");
+        self.scratch.push(word as u16);
+        self.hash = fx_fold(self.hash, word);
+    }
+
+    #[inline]
+    fn interval(&mut self, start: u64, len: u64) {
+        debug_assert!(start >= self.prev_end, "intervals must be sorted");
+        self.word(start - self.prev_end);
+        self.word(len);
+        self.prev_end = start + len;
+    }
+
+    fn finish(mut self, rover: Option<u64>) -> PackedState {
+        if let Some(rover) = rover {
+            self.word(rover);
+        }
+        PackedState::from_scratch(self.scratch, mix(self.hash))
+    }
+}
+
+impl PackedState {
+    fn from_scratch(scratch: &[u16], hash: u64) -> PackedState {
+        let words = u16::try_from(scratch.len()).expect("toy-scale payloads fit u16 word counts");
+        let data = if scratch.len() <= INLINE_WORDS {
+            let mut buf = [0u16; INLINE_WORDS];
+            buf[..scratch.len()].copy_from_slice(scratch);
+            Data::Inline(buf)
+        } else {
+            Data::Spilled(scratch.into())
+        };
+        PackedState { hash, words, data }
+    }
+
+    /// Packs a sorted, disjoint interval list (plus an optional rover
+    /// address for stateful policies). `scratch` is a reusable buffer;
+    /// its contents on entry are ignored.
+    pub fn encode(
+        intervals: &[(u64, u64)],
+        rover: Option<u64>,
+        scratch: &mut Vec<u16>,
+    ) -> PackedState {
+        let mut w = Writer::new(scratch);
+        for &(start, len) in intervals {
+            w.interval(start, len);
+        }
+        w.finish(rover)
+    }
+
+    /// Packs the parent configuration with `(addr, len)` spliced in at
+    /// sorted position `pos` — the allocation successor — without
+    /// materializing the successor's interval vector.
+    pub fn encode_splice(
+        parent: &[(u64, u64)],
+        pos: usize,
+        addr: u64,
+        len: u64,
+        rover: Option<u64>,
+        scratch: &mut Vec<u16>,
+    ) -> PackedState {
+        let mut w = Writer::new(scratch);
+        for &(s, l) in &parent[..pos] {
+            w.interval(s, l);
+        }
+        w.interval(addr, len);
+        for &(s, l) in &parent[pos..] {
+            w.interval(s, l);
+        }
+        w.finish(rover)
+    }
+
+    /// Packs the parent configuration with interval `index` removed — the
+    /// free successor — merging its gap into the following interval's.
+    pub fn encode_remove(
+        parent: &[(u64, u64)],
+        index: usize,
+        rover: Option<u64>,
+        scratch: &mut Vec<u16>,
+    ) -> PackedState {
+        let mut w = Writer::new(scratch);
+        for (i, &(s, l)) in parent.iter().enumerate() {
+            if i != index {
+                w.interval(s, l);
+            }
+        }
+        w.finish(rover)
+    }
+
+    /// The raw payload words (delta-encoded intervals, then the rover
+    /// word when the encoding carries one).
+    pub fn payload(&self) -> &[u16] {
+        match &self.data {
+            Data::Inline(buf) => &buf[..self.words as usize],
+            Data::Spilled(boxed) => boxed,
+        }
+    }
+
+    /// The precomputed 64-bit hash.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// Whether the payload lives inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.data, Data::Inline(_))
+    }
+
+    /// Unpacks into `(start, len)` intervals appended to `intervals`
+    /// (cleared first) and returns the rover word when `has_rover`.
+    pub fn decode_into(&self, intervals: &mut Vec<(u64, u64)>, has_rover: bool) -> Option<u64> {
+        intervals.clear();
+        let payload = self.payload();
+        let (body, rover) = if has_rover {
+            let (&rover, body) = payload.split_last().expect("rover encodings are non-empty");
+            (body, Some(rover as u64))
+        } else {
+            (payload, None)
+        };
+        debug_assert_eq!(body.len() % 2, 0, "interval payloads come in pairs");
+        let mut cursor = 0u64;
+        for pair in body.chunks_exact(2) {
+            let start = cursor + pair[0] as u64;
+            let len = pair[1] as u64;
+            intervals.push((start, len));
+            cursor = start + len;
+        }
+        rover
+    }
+
+    /// Recomputes the hash of a raw payload, exactly as encoding would
+    /// have produced it; the interner uses this to rehash arena entries
+    /// on resize without re-interning.
+    pub fn hash_payload(payload: &[u16]) -> u64 {
+        mix(payload.iter().fold(FX_SEED, |h, &w| fx_fold(h, w as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(intervals: &[(u64, u64)], rover: Option<u64>) -> PackedState {
+        let mut scratch = Vec::new();
+        let packed = PackedState::encode(intervals, rover, &mut scratch);
+        let mut back = Vec::new();
+        assert_eq!(packed.decode_into(&mut back, rover.is_some()), rover);
+        assert_eq!(back, intervals);
+        packed
+    }
+
+    #[test]
+    fn empty_state_is_inline_and_stable() {
+        let a = roundtrip(&[], None);
+        let b = roundtrip(&[], None);
+        assert!(a.is_inline());
+        assert_eq!(a, b);
+        assert_eq!(a.hash64(), b.hash64());
+    }
+
+    #[test]
+    fn inline_to_spill_boundary_sits_at_four_intervals() {
+        let four: Vec<(u64, u64)> = (0..4).map(|i| (3 * i, 2)).collect();
+        let five: Vec<(u64, u64)> = (0..5).map(|i| (3 * i, 2)).collect();
+        assert!(roundtrip(&four, None).is_inline());
+        assert!(roundtrip(&four, Some(7)).is_inline(), "8 words + rover = 9");
+        assert!(!roundtrip(&five, None).is_inline());
+    }
+
+    #[test]
+    fn rover_distinguishes_states() {
+        let occ = [(0u64, 2), (4, 1)];
+        let a = roundtrip(&occ, Some(2));
+        let b = roundtrip(&occ, Some(5));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splice_and_remove_match_whole_state_encoding() {
+        let mut scratch = Vec::new();
+        let parent = [(0u64, 2), (4, 1), (8, 4)];
+        let spliced = PackedState::encode_splice(&parent, 1, 2, 2, None, &mut scratch);
+        let by_hand = PackedState::encode(&[(0, 2), (2, 2), (4, 1), (8, 4)], None, &mut scratch);
+        assert_eq!(spliced, by_hand);
+        assert_eq!(spliced.hash64(), by_hand.hash64());
+
+        let removed = PackedState::encode_remove(&parent, 1, None, &mut scratch);
+        let by_hand = PackedState::encode(&[(0, 2), (8, 4)], None, &mut scratch);
+        assert_eq!(removed, by_hand);
+        assert_eq!(removed.hash64(), by_hand.hash64());
+    }
+
+    #[test]
+    fn hash_payload_matches_encode() {
+        let mut scratch = Vec::new();
+        let packed = PackedState::encode(&[(1, 2), (5, 3)], Some(4), &mut scratch);
+        assert_eq!(PackedState::hash_payload(packed.payload()), packed.hash64());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the packed state encoding behind the exhaustive
+//! search: `Vec<(u64, u64)> ↔ PackedState` must round-trip exactly
+//! (ordering preserved), hashing must be a pure function of the payload,
+//! and the inline→spill boundary must be invisible to every observer.
+
+use proptest::prelude::*;
+
+use partial_compaction::exhaustive::packed::{PackedState, INLINE_WORDS};
+
+/// Strategy: a sorted, disjoint interval list at toy scale — the exact
+/// shape the search encodes — as (gap, len) pairs materialized into
+/// absolute (start, len) intervals.
+fn intervals() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..40, 1u64..16), 0..12).prop_map(|pairs| {
+        let mut cursor = 0u64;
+        pairs
+            .into_iter()
+            .map(|(gap, len)| {
+                let start = cursor + gap;
+                cursor = start + len;
+                (start, len)
+            })
+            .collect()
+    })
+}
+
+fn rover_for(occ: &[(u64, u64)], seed: u64) -> u64 {
+    let span = occ.last().map(|&(s, l)| s + l).unwrap_or(0);
+    if span == 0 {
+        0
+    } else {
+        seed % (span + 1)
+    }
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_without_rover(occ in intervals()) {
+        let mut scratch = Vec::new();
+        let packed = PackedState::encode(&occ, None, &mut scratch);
+        let mut back = Vec::new();
+        prop_assert_eq!(packed.decode_into(&mut back, false), None);
+        prop_assert_eq!(&back, &occ, "decode must preserve order and values");
+        // Sortedness survives the delta encoding.
+        prop_assert!(back.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0));
+    }
+
+    #[test]
+    fn roundtrip_with_rover(occ in intervals(), seed in 0u64..1000) {
+        let rover = rover_for(&occ, seed);
+        let mut scratch = Vec::new();
+        let packed = PackedState::encode(&occ, Some(rover), &mut scratch);
+        let mut back = Vec::new();
+        prop_assert_eq!(packed.decode_into(&mut back, true), Some(rover));
+        prop_assert_eq!(back, occ);
+    }
+
+    #[test]
+    fn equal_configurations_hash_and_compare_equal(occ in intervals()) {
+        let mut scratch_a = Vec::new();
+        let mut scratch_b = Vec::new();
+        let a = PackedState::encode(&occ, None, &mut scratch_a);
+        let b = PackedState::encode(&occ, None, &mut scratch_b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.hash64(), b.hash64());
+        prop_assert_eq!(PackedState::hash_payload(a.payload()), a.hash64());
+    }
+
+    #[test]
+    fn distinct_configurations_compare_unequal(a in intervals(), b in intervals()) {
+        let mut scratch = Vec::new();
+        let pa = PackedState::encode(&a, None, &mut scratch);
+        let pb = PackedState::encode(&b, None, &mut scratch);
+        prop_assert_eq!(pa == pb, a == b, "packed equality is interval equality");
+    }
+
+    #[test]
+    fn inline_spill_boundary_is_exact_and_invisible(occ in intervals()) {
+        let mut scratch = Vec::new();
+        let packed = PackedState::encode(&occ, None, &mut scratch);
+        // The representation spills exactly when the payload outgrows the
+        // inline words; behaviour on either side is identical.
+        prop_assert_eq!(packed.is_inline(), 2 * occ.len() <= INLINE_WORDS);
+        prop_assert_eq!(packed.payload().len(), 2 * occ.len());
+        let mut back = Vec::new();
+        packed.decode_into(&mut back, false);
+        prop_assert_eq!(back, occ);
+    }
+
+    #[test]
+    fn splice_equals_whole_state_encoding(occ in intervals(), pos_seed in 0usize..16, len in 1u64..8) {
+        // Insert a new interval into any gap wide enough (including the
+        // frontier) and check the streaming splice encoder agrees with
+        // encoding the spliced vector from scratch.
+        let mut scratch = Vec::new();
+        let span = occ.last().map(|&(s, l)| s + l).unwrap_or(0);
+        // Candidate: place at the frontier (always legal).
+        let addr = span + (pos_seed as u64 % 3);
+        let pos = occ.partition_point(|&(s, _)| s < addr);
+        let spliced = PackedState::encode_splice(&occ, pos, addr, len, None, &mut scratch);
+        let mut by_hand = occ.clone();
+        by_hand.insert(pos, (addr, len));
+        let whole = PackedState::encode(&by_hand, None, &mut scratch);
+        prop_assert_eq!(&spliced, &whole);
+        prop_assert_eq!(spliced.hash64(), whole.hash64());
+    }
+
+    #[test]
+    fn remove_equals_whole_state_encoding(occ in intervals(), pick in 0usize..12) {
+        if occ.is_empty() {
+            return Ok(()); // nothing to remove; trivially holds
+        }
+        let index = pick % occ.len();
+        let mut scratch = Vec::new();
+        let removed = PackedState::encode_remove(&occ, index, None, &mut scratch);
+        let mut by_hand = occ.clone();
+        by_hand.remove(index);
+        let whole = PackedState::encode(&by_hand, None, &mut scratch);
+        prop_assert_eq!(&removed, &whole);
+        prop_assert_eq!(removed.hash64(), whole.hash64());
+    }
+}

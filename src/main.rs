@@ -100,7 +100,8 @@ usage:
   pcb sweep <bound> c <M_words> <log2_n> <c_from> <c_to>
   pcb sweep <bound> n <M_over_n> <c> <logn_from> <logn_to>
   pcb sweep rho <M_words> <log2_n> <c>
-  pcb worst-case <M_words> <log2_n> [first-fit|best-fit]
+  pcb worst-case <M_words> <log2_n> [first-fit|best-fit|next-fit]
+                 [--max-states <n>]
   pcb reproduce
     (bounds: thm1-lower thm2-upper robson-p2 robson-doubled
              bp11-upper bp11-lower)
@@ -504,12 +505,39 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_worst_case(args: &[String]) -> Result<(), String> {
-    use partial_compaction::exhaustive::{worst_case, SearchPolicy};
-    let (m, log_n, policy) = match args {
+    use partial_compaction::exhaustive::{try_worst_case, SearchPolicy};
+    let mut positional: Vec<&String> = Vec::new();
+    let mut max_states = 50_000_000usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-states" => {
+                max_states = it
+                    .next()
+                    .ok_or_else(|| "--max-states needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--max-states: {e}"))?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => positional.push(arg),
+        }
+    }
+    let (m, log_n, policy) = match positional.as_slice() {
         [m, log_n] => (m, log_n, SearchPolicy::FirstFit),
-        [m, log_n, p] if p == "first-fit" => (m, log_n, SearchPolicy::FirstFit),
-        [m, log_n, p] if p == "best-fit" => (m, log_n, SearchPolicy::BestFit),
-        _ => return Err("worst-case needs <M_words> <log2_n> [first-fit|best-fit]".into()),
+        [m, log_n, p] => {
+            let policy = SearchPolicy::ALL
+                .into_iter()
+                .find(|policy| policy.name() == p.as_str())
+                .ok_or_else(|| format!("unknown policy {p} (first-fit|best-fit|next-fit)"))?;
+            (m, log_n, policy)
+        }
+        _ => {
+            return Err(
+                "worst-case needs <M_words> <log2_n> [first-fit|best-fit|next-fit] \
+                 [--max-states <n>]"
+                    .into(),
+            )
+        }
     };
     let params = Params::new(
         m.parse().map_err(|e| format!("M: {e}"))?,
@@ -522,14 +550,21 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
             "exhaustive search is toy-scale only (M <= 16, log n <= 3); got {params}"
         ));
     }
-    let wc = worst_case(params, policy, 50_000_000);
+    let report = try_worst_case(params, policy, max_states)
+        .map_err(|e| format!("parameters not toy enough: {e}"))?;
     println!(
         "true worst case for {} at M={}, n={}: HS = {} words ({} reachable states)",
         policy.name(),
         params.m(),
         params.n(),
-        wc.heap_size,
-        wc.states
+        report.worst.heap_size,
+        report.worst.states
+    );
+    println!(
+        "search: {} levels, peak frontier {} states, seen-set {} KiB resident",
+        report.stats.levels,
+        report.stats.peak_frontier,
+        report.stats.resident_bytes / 1024
     );
     println!(
         "Robson's formula (optimal allocator): {:.0} words",

@@ -133,6 +133,28 @@ fn worst_case_matches_the_library() {
 }
 
 #[test]
+fn worst_case_supports_next_fit() {
+    let (stdout, _, ok) = pcb(&["worst-case", "6", "1", "next-fit"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("next-fit"), "{stdout}");
+    assert!(stdout.contains("HS = 9 words"), "{stdout}");
+    assert!(stdout.contains("peak frontier"), "{stdout}");
+    let (_, stderr, ok) = pcb(&["worst-case", "6", "1", "worst-fit"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"), "{stderr}");
+}
+
+#[test]
+fn worst_case_reports_an_exceeded_state_cap_gracefully() {
+    let (_, stderr, ok) = pcb(&["worst-case", "8", "2", "--max-states", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("parameters not toy enough"), "{stderr}");
+    assert!(stderr.contains("state space exceeded"), "{stderr}");
+    // A refusal, not a crash: no panic message reaches the user.
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn no_arguments_prints_usage() {
     let (_, stderr, ok) = pcb(&[]);
     assert!(!ok);
