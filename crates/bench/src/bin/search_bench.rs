@@ -4,7 +4,7 @@
 //! once through the retained seed implementation
 //! (`exhaustive::reference`: `Vec` states, `HashSet` dedup, clone per
 //! successor) and once through the packed/interned pipeline behind
-//! [`exhaustive::try_worst_case`] — verifies both certify byte-identical
+//! `exhaustive::try_worst_case` — verifies both certify byte-identical
 //! `WorstCase` results, and emits a machine-readable JSON artifact with
 //! states/second, seen-set resident bytes, and bytes/state for each side.
 //!

@@ -32,7 +32,7 @@
 //! Scale is capped by memory, not CPU: the seen-set must hold every
 //! reachable configuration. The search therefore runs on a compact,
 //! allocation-free state pipeline (see [`packed`] and the
-//! [`Interner`](intern::Interner)):
+//! [`Interner`]):
 //!
 //! * configurations are delta-encoded into `u16` words, inline in the
 //!   [`PackedState`] struct for ≤ 4 intervals, with the hash precomputed
@@ -44,7 +44,7 @@
 //!   through per-worker scratch buffers — no intermediate interval
 //!   vector, no per-child clone.
 //!
-//! The seed implementation survives as [`reference`], the oracle that
+//! The seed implementation survives as [`mod@reference`], the oracle that
 //! the packed pipeline is tested byte-identical against.
 
 pub mod intern;
@@ -256,7 +256,7 @@ thread_local! {
 /// reaching it means the cap was too small to certify a maximum. The
 /// `WorstCase` inside the report is byte-identical across thread counts
 /// (`PCB_THREADS=1` forces the sequential path) and to the
-/// [`reference`] implementation.
+/// [`mod@reference`] implementation.
 ///
 /// # Errors
 ///

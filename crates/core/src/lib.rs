@@ -86,5 +86,6 @@ pub use pcb_workload as workload;
 pub use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
 pub use pcb_alloc::ManagerKind;
 pub use pcb_heap::{
-    Execution, Heap, Observer, Observers, Recorder, Report, Size, StatSink, TimeSeries, TraceWriter,
+    Execution, Heap, Observer, Observers, Recorder, Report, Size, StatSink, Substrate, TimeSeries,
+    TraceWriter,
 };

@@ -12,7 +12,7 @@ use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
 use pcb_alloc::ManagerKind;
 use pcb_heap::{
     Execution, ExecutionError, Heap, MemoryManager, Observer, Observers, Program, StatSink,
-    TimeSeries,
+    Substrate, TimeSeries,
 };
 
 use crate::bounds::thm1;
@@ -148,6 +148,7 @@ pub struct Sim<'a> {
     observer: Option<&'a mut dyn Observer>,
     series_every: Option<u32>,
     stats: bool,
+    substrate: Option<Substrate>,
 }
 
 impl fmt::Debug for Sim<'_> {
@@ -160,6 +161,7 @@ impl fmt::Debug for Sim<'_> {
             .field("observer", &self.observer.is_some())
             .field("series_every", &self.series_every)
             .field("stats", &self.stats)
+            .field("substrate", &self.substrate)
             .finish()
     }
 }
@@ -177,6 +179,7 @@ impl<'a> Sim<'a> {
             observer: None,
             series_every: None,
             stats: false,
+            substrate: None,
         }
     }
 
@@ -220,6 +223,15 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Pins the occupancy substrate for this run (otherwise the
+    /// `PCB_SUBSTRATE` environment default applies). Both substrates
+    /// produce identical reports; `Substrate::Reference` cross-checks a
+    /// run against the `BTreeMap` oracle.
+    pub fn substrate(mut self, substrate: Substrate) -> Self {
+        self.substrate = Some(substrate);
+        self
+    }
+
     /// Drives an execution to completion, attaching the configured
     /// collectors. With nothing attached this is the engine's zero-cost
     /// unobserved path.
@@ -259,7 +271,12 @@ impl<'a> Sim<'a> {
             observer,
             series_every,
             stats,
+            substrate,
         } = self;
+        let pin = |heap: Heap| match substrate {
+            Some(s) => heap.with_substrate(s),
+            None => heap,
+        };
         match adversary {
             Adversary::Pf(variant) => {
                 let mut cfg = PfConfig::new(params.m(), params.log_n(), params.c())
@@ -270,11 +287,11 @@ impl<'a> Sim<'a> {
                 }
                 let rho = cfg.rho;
                 let h_raw = cfg.h;
-                let heap = if manager.is_unbounded() {
+                let heap = pin(if manager.is_unbounded() {
                     Heap::unlimited_compaction()
                 } else {
                     Heap::new(params.c())
-                };
+                });
                 let mut exec = Execution::new(heap, PfProgram::new(cfg), manager.build(&params));
                 if stats {
                     exec = exec.with_stats();
@@ -310,13 +327,13 @@ impl<'a> Sim<'a> {
             }
             Adversary::Robson => {
                 let program = RobsonProgram::new(params.m(), params.log_n());
-                let heap = if manager.is_unbounded() {
+                let heap = pin(if manager.is_unbounded() {
                     Heap::unlimited_compaction()
                 } else if manager.is_compacting() {
                     Heap::new(params.c())
                 } else {
                     Heap::non_moving()
-                };
+                });
                 let mut exec = Execution::new(heap, program, manager.build(&params));
                 if stats {
                     exec = exec.with_stats();

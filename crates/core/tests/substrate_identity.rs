@@ -1,0 +1,55 @@
+//! The occupancy substrate must be invisible in the results: every
+//! simulation cell run on the bitmap substrate and on the `BTreeMap`
+//! reference oracle must serialize to byte-identical `SimReport`s, at
+//! every worker-thread count.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the
+//! process-wide `PCB_THREADS` variable, and cargo runs test binaries one
+//! at a time, so a lone test is the race-free way to flip the knob.
+
+use partial_compaction::{parallel, sim, ManagerKind, Params, Substrate};
+use pcb_json::ToJson;
+
+fn with_threads<T>(threads: &str, run: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("PCB_THREADS").ok();
+    std::env::set_var("PCB_THREADS", threads);
+    let out = run();
+    match saved {
+        Some(v) => std::env::set_var("PCB_THREADS", v),
+        None => std::env::remove_var("PCB_THREADS"),
+    }
+    out
+}
+
+fn grid(substrate: Substrate) -> String {
+    let params = Params::new(1 << 13, 9, 20).expect("valid");
+    let cells: Vec<(ManagerKind, sim::Adversary)> = ManagerKind::ALL
+        .iter()
+        .flat_map(|&kind| [(kind, sim::Adversary::PF), (kind, sim::Adversary::Robson)])
+        .collect();
+    let reports = parallel::par_map(&cells, |&(kind, adversary)| {
+        sim::Sim::new(params)
+            .adversary(adversary)
+            .manager(kind)
+            .substrate(substrate)
+            .run()
+            .expect("cell runs")
+            .to_json()
+            .to_string()
+    });
+    reports.join("\n")
+}
+
+#[test]
+fn substrates_produce_identical_reports() {
+    let baseline = with_threads("1", || grid(Substrate::Reference));
+    for threads in ["1", "2", "4"] {
+        for substrate in Substrate::ALL {
+            let run = with_threads(threads, || grid(substrate));
+            assert_eq!(
+                baseline, run,
+                "SimReports diverged: substrate={substrate} PCB_THREADS={threads}"
+            );
+        }
+    }
+}

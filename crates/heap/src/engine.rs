@@ -211,6 +211,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         while !self.program.finished() && self.round < self.max_rounds {
             self.step_round_inner(None)?;
         }
+        self.publish_substrate_counters();
         Ok(self.report())
     }
 
@@ -225,7 +226,23 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         while !self.program.finished() && self.round < self.max_rounds {
             self.step_round_inner(Some(observer))?;
         }
+        self.publish_substrate_counters();
         Ok(self.report())
+    }
+
+    /// Publishes the substrate's telemetry counters (bitmap words scanned,
+    /// summary-level skips, SoA slot reuse) as high-water marks; a no-op
+    /// while telemetry is disabled or on the reference substrate.
+    fn publish_substrate_counters(&self) {
+        if !pcb_telemetry::enabled() {
+            return;
+        }
+        if let Some(c) = self.heap.space().counters() {
+            pcb_telemetry::record_max("space.words_scanned", c.words_scanned);
+            pcb_telemetry::record_max("space.summary_skips", c.summary_skips);
+            pcb_telemetry::record_max("space.slot_high_water", c.slot_high_water);
+            pcb_telemetry::record_max("space.slots_reused", c.slots_reused);
+        }
     }
 
     /// Produces a report of the execution so far.

@@ -7,13 +7,109 @@
 //! manager may use to satisfy all allocation requests" — i.e. the peak span
 //! between the lowest and highest word ever occupied during the execution.
 
-use std::collections::HashMap;
-
 use crate::addr::{Addr, Extent, Size};
 use crate::budget::CompactionBudget;
 use crate::error::HeapError;
 use crate::object::{ObjectId, ObjectIdGen, ObjectRecord};
-use crate::space::SpaceMap;
+use crate::space::{SpaceMap, Substrate};
+
+/// Sentinel for "not live" in [`ObjectTable::id_to_slot`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// Dense object table: object ids are allocation sequence numbers, so a
+/// flat id→slot vector plus a recycled record arena replaces the hash map
+/// on the place/free/relocate hot path (no hashing, no probing).
+#[derive(Debug, Default, Clone)]
+struct ObjectTable {
+    /// id raw -> record slot; `NO_SLOT` while not live. Grows with the
+    /// highest id ever inserted.
+    id_to_slot: Vec<u32>,
+    /// Record arena indexed by slot; freed slots hold stale records.
+    records: Vec<ObjectRecord>,
+    /// Whether the slot currently holds a live record.
+    live_mask: Vec<bool>,
+    /// Recycled slots.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl ObjectTable {
+    #[inline]
+    fn slot_of(&self, id: ObjectId) -> Option<usize> {
+        match self.id_to_slot.get(id.get() as usize) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: ObjectId) -> Option<&ObjectRecord> {
+        self.slot_of(id).map(|s| &self.records[s])
+    }
+
+    #[inline]
+    fn get_mut(&mut self, id: ObjectId) -> Option<&mut ObjectRecord> {
+        self.slot_of(id).map(|s| &mut self.records[s])
+    }
+
+    fn insert(&mut self, rec: ObjectRecord) {
+        let raw = rec.id().get();
+        assert!(
+            raw < u64::from(NO_SLOT),
+            "object ids index the dense table and must stay below 2^32 - 1"
+        );
+        let idx = raw as usize;
+        if idx >= self.id_to_slot.len() {
+            self.id_to_slot.resize(idx + 1, NO_SLOT);
+        }
+        if let Some(&slot) = self.id_to_slot.get(idx).filter(|&&s| s != NO_SLOT) {
+            // Same id placed again: overwrite in place (map semantics).
+            self.records[slot as usize] = rec;
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.records[s as usize] = rec;
+                self.live_mask[s as usize] = true;
+                s
+            }
+            None => {
+                self.records.push(rec);
+                self.live_mask.push(true);
+                (self.records.len() - 1) as u32
+            }
+        };
+        self.id_to_slot[idx] = slot;
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: ObjectId) -> Option<ObjectRecord> {
+        let slot = self.slot_of(id)?;
+        self.id_to_slot[id.get() as usize] = NO_SLOT;
+        self.live_mask[slot] = false;
+        self.free.push(slot as u32);
+        self.live -= 1;
+        Some(self.records[slot])
+    }
+
+    #[inline]
+    fn contains(&self, id: ObjectId) -> bool {
+        self.slot_of(id).is_some()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live records in slot order (an arbitrary but deterministic order).
+    fn iter(&self) -> impl Iterator<Item = &ObjectRecord> {
+        self.records
+            .iter()
+            .zip(&self.live_mask)
+            .filter_map(|(rec, &live)| live.then_some(rec))
+    }
+}
 
 /// Aggregate operation counts for an execution.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +145,7 @@ pub struct HeapStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Heap {
-    objects: HashMap<ObjectId, ObjectRecord>,
+    objects: ObjectTable,
     space: SpaceMap,
     budget: CompactionBudget,
     id_gen: ObjectIdGen,
@@ -88,7 +184,7 @@ impl Heap {
     /// Creates a heap with an explicit budget ledger.
     pub fn with_budget(budget: CompactionBudget) -> Self {
         Heap {
-            objects: HashMap::new(),
+            objects: ObjectTable::default(),
             space: SpaceMap::new(),
             budget,
             id_gen: ObjectIdGen::new(),
@@ -100,6 +196,27 @@ impl Heap {
             round: 0,
             stats: HeapStats::default(),
         }
+    }
+
+    /// Selects the occupancy substrate (builder style); without this the
+    /// heap follows `PCB_SUBSTRATE` (bitmap when unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything has already been placed: the substrate must be
+    /// chosen before the first placement.
+    pub fn with_substrate(mut self, substrate: Substrate) -> Self {
+        assert!(
+            self.space.is_empty() && self.objects.len() == 0,
+            "the substrate must be selected before the first placement"
+        );
+        self.space = SpaceMap::with_substrate(substrate);
+        self
+    }
+
+    /// The substrate backing the occupancy map.
+    pub fn substrate(&self) -> Substrate {
+        self.space.substrate()
     }
 
     /// Restricts object sizes to at most `n` words (the paper's parameter
@@ -141,7 +258,7 @@ impl Heap {
         let extent = Extent::new(addr, size);
         self.space.occupy(id, extent)?;
         self.objects
-            .insert(id, ObjectRecord::new(id, addr, size, self.round));
+            .insert(ObjectRecord::new(id, addr, size, self.round));
         self.budget.on_allocated(size);
         self.live_words += size;
         self.peak_live = self.peak_live.max(self.live_words);
@@ -159,7 +276,7 @@ impl Heap {
     pub fn free(&mut self, id: ObjectId) -> Result<(Addr, Size), HeapError> {
         let rec = self
             .objects
-            .remove(&id)
+            .remove(id)
             .ok_or(HeapError::UnknownObject(id))?;
         self.space
             .release(rec.addr())
@@ -179,7 +296,7 @@ impl Heap {
     /// Fails if `id` is not live, the destination is not free, or the move
     /// would exceed the c-partial allowance; the heap is unchanged on error.
     pub fn relocate(&mut self, id: ObjectId, new_addr: Addr) -> Result<Addr, HeapError> {
-        let rec = *self.objects.get(&id).ok_or(HeapError::UnknownObject(id))?;
+        let rec = *self.objects.get(id).ok_or(HeapError::UnknownObject(id))?;
         let old_addr = rec.addr();
         if new_addr == old_addr {
             // Moving zero distance moves no data: a no-op, free of budget.
@@ -211,7 +328,7 @@ impl Heap {
             .on_moved(rec.size())
             .expect("can_move was checked above");
         self.objects
-            .get_mut(&id)
+            .get_mut(id)
             .expect("object is live")
             .relocate(new_addr);
         self.note_used(new_extent);
@@ -230,17 +347,17 @@ impl Heap {
 
     /// The record of a live object.
     pub fn record(&self, id: ObjectId) -> Option<&ObjectRecord> {
-        self.objects.get(&id)
+        self.objects.get(id)
     }
 
     /// Whether `id` is live.
     pub fn is_live(&self, id: ObjectId) -> bool {
-        self.objects.contains_key(&id)
+        self.objects.contains(id)
     }
 
     /// Iterates over live objects in unspecified order.
     pub fn live_objects(&self) -> impl Iterator<Item = &ObjectRecord> {
-        self.objects.values()
+        self.objects.iter()
     }
 
     /// Number of live objects.
@@ -423,6 +540,51 @@ mod tests {
         let a = h.fresh_id();
         h.place(a, Addr::new(0), Size::new(1)).unwrap();
         assert_eq!(h.record(a).unwrap().birth_round(), 3);
+    }
+
+    #[test]
+    fn substrate_builder_selects_and_reports() {
+        for s in Substrate::ALL {
+            let h = Heap::new(10).with_substrate(s);
+            assert_eq!(h.substrate(), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first placement")]
+    fn substrate_after_placement_panics() {
+        let mut h = Heap::new(10);
+        let a = h.fresh_id();
+        h.place(a, Addr::new(0), Size::new(1)).unwrap();
+        let _ = h.with_substrate(Substrate::Reference);
+    }
+
+    #[test]
+    fn object_table_recycles_slots() {
+        let mut h = Heap::new(10);
+        let ids: Vec<_> = (0..8).map(|_| h.fresh_id()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            h.place(id, Addr::new(i as u64 * 4), Size::new(2)).unwrap();
+        }
+        for &id in &ids[..4] {
+            h.free(id).unwrap();
+        }
+        let more: Vec<_> = (0..4).map(|_| h.fresh_id()).collect();
+        for (i, &id) in more.iter().enumerate() {
+            h.place(id, Addr::new(i as u64 * 4), Size::new(1)).unwrap();
+        }
+        assert_eq!(h.live_count(), 8);
+        for &id in ids[4..].iter().chain(&more) {
+            assert!(h.is_live(id));
+        }
+        for &id in &ids[..4] {
+            assert!(!h.is_live(id));
+        }
+        let mut seen: Vec<_> = h.live_objects().map(|r| r.id()).collect();
+        seen.sort();
+        let mut want: Vec<_> = ids[4..].iter().chain(&more).copied().collect();
+        want.sort();
+        assert_eq!(seen, want);
     }
 
     #[test]

@@ -1,0 +1,609 @@
+//! Word-granularity bitmap substrate: the default, fast occupancy map.
+//!
+//! Production compacting allocators answer occupancy queries with per-span
+//! bitmaps and word-level bit scans rather than ordered maps; this module
+//! brings that substrate shape to the simulator's referee. Three parallel
+//! structures carry the ground truth:
+//!
+//! * `occ` — one bit per heap word, set iff the word is occupied;
+//! * `starts` — one bit per heap word, set iff an interval *starts* there
+//!   (exactly one start bit per stored interval);
+//! * `sum` — a fixed-stride summary: bit `w` of `sum[w / 64]` is set iff
+//!   `occ[w] != 0`, so one summary word rules over 64 occupancy words
+//!   (4096 heap words) and long-range scans skip empty blocks wholesale.
+//!
+//! Object metadata lives in struct-of-arrays form: parallel vectors
+//! `slot_start` / `slot_size` / `slot_owner` indexed by a dense slot id
+//! (slots are recycled through a free list), plus a paged addr→slot
+//! directory written only at interval start addresses. Directory entries are
+//! never cleared on release: an entry is meaningful only while the matching
+//! `starts` bit is set, so stale slots are unreachable by construction.
+//!
+//! Correctness leans on three small invariants, each local to one word
+//! update in `occupy`/`release`:
+//!
+//! 1. the first set `occ` bit inside a window belongs to the overlapping
+//!    interval with the minimal start (intervals are disjoint);
+//! 2. the nearest set `starts` bit at or below an occupied address is the
+//!    start of the interval containing it (the backward scan is bounded by
+//!    the largest object ever stored);
+//! 3. the first set `occ` bit at or after a stored interval's end is itself
+//!    an interval start — which makes in-order interval iteration a pure
+//!    forward scan.
+
+use std::cell::Cell;
+
+use crate::addr::{Addr, Extent, Size};
+use crate::error::SpaceError;
+use crate::object::ObjectId;
+
+/// Heap words per directory page.
+const DIR_PAGE: usize = 1 << 12;
+
+/// Sentinel for "no slot" in directory pages.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Hard cap on mapped addresses (in words). The bitmap substrate backs the
+/// whole address range below the frontier with real memory, so a manager
+/// placing at astronomically sparse addresses would OOM the simulator; the
+/// reference substrate (`PCB_SUBSTRATE=reference`) handles those.
+const MAX_ADDR: u64 = 1 << 32;
+
+/// Occupancy bitmap with a 64-word-stride summary and SoA slot metadata.
+#[derive(Debug, Default, Clone)]
+pub(super) struct BitmapSpace {
+    /// Occupancy bits: bit `a % 64` of `occ[a / 64]`.
+    occ: Vec<u64>,
+    /// Interval-start bits, same geometry as `occ`.
+    starts: Vec<u64>,
+    /// Summary level: bit `w % 64` of `sum[w / 64]` set iff `occ[w] != 0`.
+    /// Invariant: `sum.len() * 64 == occ.len()`.
+    sum: Vec<u64>,
+    /// addr -> slot directory; valid only where the `starts` bit is set.
+    dir: Vec<Option<Box<[u32; DIR_PAGE]>>>,
+    /// SoA slot metadata, indexed by dense slot id.
+    slot_start: Vec<u64>,
+    slot_size: Vec<u64>,
+    slot_owner: Vec<ObjectId>,
+    /// Recycled slot ids.
+    free_slots: Vec<u32>,
+    /// Stored interval count.
+    live: usize,
+    /// Total occupied words.
+    occupied: u64,
+    /// One past the highest occupied word (0 when empty); cached.
+    frontier: u64,
+    /// Telemetry: occupancy words examined by scans (queries take `&self`,
+    /// hence the `Cell`s).
+    words_scanned: Cell<u64>,
+    /// Telemetry: 64-word blocks skipped via the summary level.
+    summary_skips: Cell<u64>,
+    /// Telemetry: slot allocations served from the free list.
+    slots_reused: u64,
+}
+
+/// Substrate-level telemetry counters (bitmap substrate only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubstrateCounters {
+    /// Occupancy words examined by bit scans (overlap checks, gap walks,
+    /// windowed popcounts).
+    pub words_scanned: u64,
+    /// 64-word blocks skipped wholesale thanks to the summary level.
+    pub summary_skips: u64,
+    /// High-water mark of the SoA slot table (peak simultaneous intervals).
+    pub slot_high_water: u64,
+    /// Slot allocations served by recycling a freed slot.
+    pub slots_reused: u64,
+}
+
+impl BitmapSpace {
+    #[inline]
+    pub(super) fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub(super) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    pub(super) fn occupied_words(&self) -> Size {
+        Size::new(self.occupied)
+    }
+
+    #[inline]
+    pub(super) fn frontier(&self) -> Addr {
+        Addr::new(self.frontier)
+    }
+
+    pub(super) fn lowest(&self) -> Option<Addr> {
+        self.first_set(0, self.frontier).map(Addr::new)
+    }
+
+    pub(super) fn counters(&self) -> SubstrateCounters {
+        SubstrateCounters {
+            words_scanned: self.words_scanned.get(),
+            summary_skips: self.summary_skips.get(),
+            slot_high_water: self.slot_start.len() as u64,
+            slots_reused: self.slots_reused,
+        }
+    }
+
+    #[inline]
+    fn note_scan(&self, words: u64, skips: u64) {
+        self.words_scanned.set(self.words_scanned.get() + words);
+        self.summary_skips.set(self.summary_skips.get() + skips);
+    }
+
+    /// Grows the bitmaps (and summary) to cover addresses below `end`.
+    fn ensure_capacity(&mut self, end: u64) {
+        assert!(
+            end <= MAX_ADDR,
+            "bitmap substrate caps the address space at 2^32 words \
+             (placement ends at {end}); run with PCB_SUBSTRATE=reference \
+             for sparser address patterns"
+        );
+        let words = (end as usize).div_ceil(64);
+        if words > self.occ.len() {
+            // Power-of-two growth keeps `sum.len() * 64 == occ.len()` exact.
+            let new_words = words.next_power_of_two().max(64);
+            self.occ.resize(new_words, 0);
+            self.starts.resize(new_words, 0);
+            self.sum.resize(new_words / 64, 0);
+        }
+    }
+
+    /// First set occupancy bit in `[lo, hi)`, if any. `hi` is clamped to
+    /// the frontier (no bits exist above it).
+    fn first_set(&self, lo: u64, hi: u64) -> Option<u64> {
+        let hi = hi.min(self.frontier);
+        if lo >= hi {
+            return None;
+        }
+        let first_w = (lo / 64) as usize;
+        let last_w = ((hi - 1) / 64) as usize;
+        let mut scanned = 0u64;
+        let mut skips = 0u64;
+        let mut w = first_w;
+        let found = loop {
+            if w > last_w {
+                break None;
+            }
+            // Summary probe: jump to the next word with any bits set.
+            let sbits = self.sum[w / 64] & (!0u64 << (w % 64));
+            if sbits == 0 {
+                skips += 1;
+                w = (w / 64 + 1) * 64;
+                continue;
+            }
+            let nz = (w / 64) * 64 + sbits.trailing_zeros() as usize;
+            if nz > w {
+                skips += 1;
+                w = nz;
+                if w > last_w {
+                    break None;
+                }
+            }
+            let mut word = self.occ[w];
+            scanned += 1;
+            if w == first_w {
+                word &= !0u64 << (lo % 64);
+            }
+            if w == last_w {
+                let top = hi - (w as u64) * 64;
+                if top < 64 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            if word != 0 {
+                break Some((w as u64) * 64 + word.trailing_zeros() as u64);
+            }
+            w += 1;
+        };
+        self.note_scan(scanned, skips);
+        found
+    }
+
+    /// Highest set occupancy bit strictly below `hi`, if any.
+    fn last_set_below(&self, hi: u64) -> Option<u64> {
+        if hi == 0 {
+            return None;
+        }
+        let top_w = ((hi - 1) / 64) as usize;
+        let mut scanned = 0u64;
+        let mut skips = 0u64;
+        let mut w = top_w;
+        let found = loop {
+            // Downward summary probe: jump to the previous non-zero word.
+            let sbits = self.sum[w / 64] & (!0u64 >> (63 - (w % 64) as u32));
+            if sbits == 0 {
+                let block = w / 64;
+                if block == 0 {
+                    break None;
+                }
+                skips += 1;
+                w = block * 64 - 1;
+                continue;
+            }
+            let nz = (w / 64) * 64 + (63 - sbits.leading_zeros() as usize);
+            if nz < w {
+                skips += 1;
+            }
+            w = nz;
+            let mut word = self.occ[w];
+            scanned += 1;
+            if w == top_w {
+                let top = hi - (w as u64) * 64;
+                if top < 64 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            if word != 0 {
+                break Some((w as u64) * 64 + 63 - word.leading_zeros() as u64);
+            }
+            if w == 0 {
+                break None;
+            }
+            w -= 1;
+        };
+        self.note_scan(scanned, skips);
+        found
+    }
+
+    /// First *clear* bit at or after `from`, strictly below the frontier.
+    fn first_clear_from(&self, from: u64) -> Option<u64> {
+        if from >= self.frontier {
+            return None;
+        }
+        let last_w = ((self.frontier - 1) / 64) as usize;
+        let mut w = (from / 64) as usize;
+        let mut scanned = 0u64;
+        let mut free = !self.occ[w] & (!0u64 << (from % 64));
+        let found = loop {
+            scanned += 1;
+            if free != 0 {
+                let bit = (w as u64) * 64 + free.trailing_zeros() as u64;
+                break (bit < self.frontier).then_some(bit);
+            }
+            if w == last_w {
+                break None;
+            }
+            w += 1;
+            free = !self.occ[w];
+        };
+        self.note_scan(scanned, 0);
+        found
+    }
+
+    /// The interval containing the occupied address `bit`: backward scan of
+    /// the `starts` bitmap (invariant 2), then a directory lookup.
+    fn resolve(&self, bit: u64) -> (Extent, ObjectId) {
+        let mut w = (bit / 64) as usize;
+        let mut word = self.starts[w] & (!0u64 >> (63 - (bit % 64) as u32));
+        let mut scanned = 1u64;
+        let start = loop {
+            if word != 0 {
+                break (w as u64) * 64 + 63 - word.leading_zeros() as u64;
+            }
+            debug_assert!(w > 0, "occupied address {bit} has no interval start");
+            w -= 1;
+            word = self.starts[w];
+            scanned += 1;
+        };
+        self.note_scan(scanned, 0);
+        let slot = self.slot_at(start);
+        (
+            Extent::from_raw(start, self.slot_size[slot]),
+            self.slot_owner[slot],
+        )
+    }
+
+    /// Directory lookup; `start` must carry a set `starts` bit.
+    #[inline]
+    fn slot_at(&self, start: u64) -> usize {
+        let page = self.dir[start as usize / DIR_PAGE]
+            .as_deref()
+            .expect("interval start has a directory page");
+        page[start as usize % DIR_PAGE] as usize
+    }
+
+    /// Clears `occ` bits over `[lo, hi)`, maintaining the summary invariant.
+    fn clear_range(&mut self, lo: u64, hi: u64) {
+        let first_w = (lo / 64) as usize;
+        let last_w = ((hi - 1) / 64) as usize;
+        let head = !0u64 << (lo % 64);
+        let top = hi - (last_w as u64) * 64;
+        let tail = if top == 64 { !0 } else { (1u64 << top) - 1 };
+        if first_w == last_w {
+            self.occ[first_w] &= !(head & tail);
+        } else {
+            self.occ[first_w] &= !head;
+            for w in first_w + 1..last_w {
+                self.occ[w] = 0;
+            }
+            self.occ[last_w] &= !tail;
+        }
+        for w in first_w..=last_w {
+            if self.occ[w] == 0 {
+                self.sum[w / 64] &= !(1u64 << (w % 64));
+            }
+        }
+    }
+
+    pub(super) fn is_free(&self, extent: Extent) -> bool {
+        if extent.size().is_zero() {
+            return true;
+        }
+        self.first_set(extent.start().get(), extent.end().get())
+            .is_none()
+    }
+
+    /// The reference oracle's `Extent::overlaps` treats an empty window
+    /// `[x, x)` as overlapping the interval that strictly contains `x`
+    /// (`start < x < end`) — a plain bit scan over zero addresses sees
+    /// nothing. Mirror the quirk: `x` overlaps iff its occupancy bit is
+    /// set and it is not itself an interval start.
+    fn empty_window_container(&self, x: u64) -> Option<(Extent, ObjectId)> {
+        if x >= self.frontier {
+            return None;
+        }
+        let (w, mask) = ((x / 64) as usize, 1u64 << (x % 64));
+        if self.occ[w] & mask == 0 || self.starts[w] & mask != 0 {
+            return None;
+        }
+        Some(self.resolve(x))
+    }
+
+    pub(super) fn first_overlap(&self, extent: Extent) -> Option<(Extent, ObjectId)> {
+        if extent.size().is_zero() {
+            return self.empty_window_container(extent.start().get());
+        }
+        self.first_set(extent.start().get(), extent.end().get())
+            .map(|bit| self.resolve(bit))
+    }
+
+    pub(super) fn overlapping(&self, extent: Extent) -> Overlapping<'_> {
+        Overlapping {
+            space: self,
+            pending: if extent.size().is_zero() {
+                self.empty_window_container(extent.start().get())
+            } else {
+                None
+            },
+            pos: extent.start().get(),
+            hi: extent.end().get(),
+        }
+    }
+
+    pub(super) fn iter(&self) -> Overlapping<'_> {
+        Overlapping {
+            space: self,
+            pending: None,
+            pos: 0,
+            hi: self.frontier,
+        }
+    }
+
+    pub(super) fn gaps(&self) -> Gaps<'_> {
+        Gaps {
+            space: self,
+            pos: self.first_set(0, self.frontier).unwrap_or(u64::MAX),
+        }
+    }
+
+    pub(super) fn occupy(&mut self, owner: ObjectId, extent: Extent) -> Result<(), SpaceError> {
+        if extent.size().is_zero() {
+            return Err(SpaceError::EmptyExtent { owner });
+        }
+        let lo = extent.start().get();
+        let hi = extent.end().get();
+        self.ensure_capacity(hi);
+        // Check-then-set in one masked pass over the covered words: the
+        // range is at most `n` words, so a direct scan beats `first_set`'s
+        // summary probing, and reusing the masks avoids a second
+        // mask-computing traversal for the set phase.
+        let first_w = (lo / 64) as usize;
+        let last_w = ((hi - 1) / 64) as usize;
+        let head = !0u64 << (lo % 64);
+        let top = hi - (last_w as u64) * 64;
+        let tail = if top == 64 { !0 } else { (1u64 << top) - 1 };
+        let conflict = if first_w == last_w {
+            let bits = self.occ[first_w] & head & tail;
+            (bits != 0).then_some((first_w, bits))
+        } else {
+            let head_bits = self.occ[first_w] & head;
+            if head_bits != 0 {
+                Some((first_w, head_bits))
+            } else {
+                (first_w + 1..last_w)
+                    .find_map(|w| (self.occ[w] != 0).then(|| (w, self.occ[w])))
+                    .or_else(|| {
+                        let bits = self.occ[last_w] & tail;
+                        (bits != 0).then_some((last_w, bits))
+                    })
+            }
+        };
+        self.note_scan((last_w - first_w + 1) as u64, 0);
+        if let Some((w, bits)) = conflict {
+            let bit = (w as u64) * 64 + bits.trailing_zeros() as u64;
+            let (existing, holder) = self.resolve(bit);
+            return Err(SpaceError::Overlap {
+                attempted: extent,
+                existing,
+                holder,
+            });
+        }
+        if first_w == last_w {
+            self.occ[first_w] |= head & tail;
+        } else {
+            self.occ[first_w] |= head;
+            for w in first_w + 1..last_w {
+                self.occ[w] = !0;
+            }
+            self.occ[last_w] |= tail;
+        }
+        for w in first_w..=last_w {
+            self.sum[w / 64] |= 1u64 << (w % 64);
+        }
+        self.starts[(lo / 64) as usize] |= 1u64 << (lo % 64);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots_reused += 1;
+                s as usize
+            }
+            None => {
+                assert!(
+                    self.slot_start.len() < NO_SLOT as usize,
+                    "slot table overflow"
+                );
+                self.slot_start.push(0);
+                self.slot_size.push(0);
+                self.slot_owner.push(owner);
+                self.slot_start.len() - 1
+            }
+        };
+        self.slot_start[slot] = lo;
+        self.slot_size[slot] = hi - lo;
+        self.slot_owner[slot] = owner;
+        let page = lo as usize / DIR_PAGE;
+        if page >= self.dir.len() {
+            self.dir.resize(page + 1, None);
+        }
+        self.dir[page].get_or_insert_with(|| Box::new([NO_SLOT; DIR_PAGE]))
+            [lo as usize % DIR_PAGE] = slot as u32;
+        self.live += 1;
+        self.occupied += hi - lo;
+        if hi > self.frontier {
+            self.frontier = hi;
+        }
+        Ok(())
+    }
+
+    pub(super) fn release(&mut self, start: Addr) -> Result<(Extent, ObjectId), SpaceError> {
+        let a = start.get();
+        let w = (a / 64) as usize;
+        if w >= self.starts.len() || self.starts[w] & (1u64 << (a % 64)) == 0 {
+            return Err(SpaceError::NotOccupied { addr: start });
+        }
+        let slot = self.slot_at(a);
+        let size = self.slot_size[slot];
+        let owner = self.slot_owner[slot];
+        self.starts[w] &= !(1u64 << (a % 64));
+        self.clear_range(a, a + size);
+        self.free_slots.push(slot as u32);
+        self.live -= 1;
+        self.occupied -= size;
+        if a + size == self.frontier {
+            self.frontier = self.last_set_below(self.frontier).map_or(0, |b| b + 1);
+        }
+        Ok((Extent::new(start, Size::new(size)), owner))
+    }
+
+    pub(super) fn object_at(&self, addr: Addr) -> Option<ObjectId> {
+        let a = addr.get();
+        if a >= self.frontier {
+            return None;
+        }
+        if self.occ[(a / 64) as usize] & (1u64 << (a % 64)) == 0 {
+            return None;
+        }
+        Some(self.resolve(a).1)
+    }
+
+    /// Masked popcount over the window, skipping empty blocks via the
+    /// summary — the heatmap and chunk-density queries hit this per cell
+    /// per round.
+    pub(super) fn occupied_words_in(&self, window: Extent) -> Size {
+        let lo = window.start().get();
+        let hi = window.end().get().min(self.frontier);
+        if lo >= hi {
+            return Size::ZERO;
+        }
+        let first_w = (lo / 64) as usize;
+        let last_w = ((hi - 1) / 64) as usize;
+        let mut count = 0u64;
+        let mut scanned = 0u64;
+        let mut skips = 0u64;
+        let mut w = first_w;
+        while w <= last_w {
+            let sbits = self.sum[w / 64] & (!0u64 << (w % 64));
+            if sbits == 0 {
+                skips += 1;
+                w = (w / 64 + 1) * 64;
+                continue;
+            }
+            let nz = (w / 64) * 64 + sbits.trailing_zeros() as usize;
+            if nz > w {
+                skips += 1;
+                w = nz;
+                if w > last_w {
+                    break;
+                }
+            }
+            let mut word = self.occ[w];
+            scanned += 1;
+            if w == first_w {
+                word &= !0u64 << (lo % 64);
+            }
+            if w == last_w {
+                let top = hi - (w as u64) * 64;
+                if top < 64 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            count += u64::from(word.count_ones());
+            w += 1;
+        }
+        self.note_scan(scanned, skips);
+        Size::new(count)
+    }
+}
+
+/// In-order iterator over stored intervals overlapping a window.
+///
+/// The first element is resolved with a backward `starts` scan (the
+/// container may begin before the window); every later element begins at
+/// the first set bit past its predecessor's end, which invariant 3
+/// guarantees is itself a start — `resolve` then terminates on its first
+/// probe.
+pub(super) struct Overlapping<'a> {
+    space: &'a BitmapSpace,
+    /// The empty-window containment case, yielded before any bit scan.
+    pending: Option<(Extent, ObjectId)>,
+    pos: u64,
+    hi: u64,
+}
+
+impl Iterator for Overlapping<'_> {
+    type Item = (Extent, ObjectId);
+
+    fn next(&mut self) -> Option<(Extent, ObjectId)> {
+        if let Some(item) = self.pending.take() {
+            return Some(item);
+        }
+        let bit = self.space.first_set(self.pos, self.hi)?;
+        let (extent, owner) = self.space.resolve(bit);
+        self.pos = extent.end().get();
+        Some((extent, owner))
+    }
+}
+
+/// Iterator over interior free gaps (holes strictly between intervals).
+pub(super) struct Gaps<'a> {
+    space: &'a BitmapSpace,
+    /// Next address to examine; `u64::MAX` when the map is empty.
+    pos: u64,
+}
+
+impl Iterator for Gaps<'_> {
+    type Item = Extent;
+
+    fn next(&mut self) -> Option<Extent> {
+        let gap_lo = self.space.first_clear_from(self.pos)?;
+        // The frontier word is occupied by definition, so a set bit exists.
+        let gap_hi = self.space.first_set(gap_lo, self.space.frontier)?;
+        self.pos = gap_hi;
+        Some(Extent::from_raw(gap_lo, gap_hi - gap_lo))
+    }
+}

@@ -22,6 +22,8 @@
 //! --stats                                      print manager counters
 //! --trace-out <file.json>                      engine span trace (Perfetto)
 //! --profile                                    print the span profile table
+//! --substrate bitmap|reference                 occupancy substrate (cross-
+//!                                              check against the oracle)
 //! ```
 //!
 //! `bench diff` compares a fresh benchmark artifact against a checked-in
@@ -40,7 +42,7 @@ use partial_compaction::workload::{ChurnConfig, ChurnWorkload, RampConfig, RampW
 use partial_compaction::{
     benchdiff, bounds, figures, telemetry, ManagerKind, Params, PfConfig, PfProgram,
 };
-use partial_compaction::{Observers, TimeSeries, TraceWriter};
+use partial_compaction::{Observers, Substrate, TimeSeries, TraceWriter};
 use partial_compaction::{PfVariant, RobsonProgram};
 
 fn main() -> ExitCode {
@@ -93,7 +95,7 @@ usage:
   pcb simulate [--program pf|pf-baseline|robson|churn|ramp]
                [--manager <name>] [--m <words>] [--log-n <k>] [--c <c>]
                [--map] [--validate] [--series <file>] [--every <k>]
-               [--stats]
+               [--stats] [--substrate bitmap|reference]
   pcb record <file.json|file.jsonl> [simulate options]
   pcb replay <file.json|file.jsonl>
   pcb bench diff <new.json> --against <baseline.json> [--tolerance <pct>]
@@ -216,6 +218,7 @@ struct SimOpts {
     stats: bool,
     trace_out: Option<String>,
     profile: bool,
+    substrate: Option<Substrate>,
 }
 
 fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
@@ -232,6 +235,7 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
         stats: false,
         trace_out: None,
         profile: false,
+        substrate: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -265,6 +269,12 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
             "--stats" => opts.stats = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--profile" => opts.profile = true,
+            "--substrate" => {
+                opts.substrate =
+                    Some(value("--substrate")?.parse().map_err(
+                        |e: partial_compaction::heap::ParseSubstrateError| e.to_string(),
+                    )?)
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -278,13 +288,16 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
         telemetry::enable();
     }
 
-    let heap = if opts.manager.is_unbounded() {
+    let mut heap = if opts.manager.is_unbounded() {
         Heap::unlimited_compaction()
     } else if opts.manager.is_compacting() || opts.program.starts_with("pf") {
         Heap::new(opts.c)
     } else {
         Heap::non_moving()
     };
+    if let Some(substrate) = opts.substrate {
+        heap = heap.with_substrate(substrate);
+    }
     let budget_c = if opts.manager.is_unbounded() {
         0
     } else if opts.manager.is_compacting() || opts.program.starts_with("pf") {
