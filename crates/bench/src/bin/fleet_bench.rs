@@ -1,0 +1,160 @@
+//! Fleet-scale throughput benchmark: tenants/second, aggregation
+//! footprint, and the fleet-wide waste distribution against the paper's
+//! bounds.
+//!
+//! Runs a pinned grid of fleet cells (workload mix × manager), each
+//! twice — `PCB`-independent explicit thread counts 1 and 2 — and
+//! verifies the aggregate reports are byte-identical before timing the
+//! single-threaded run. The artifact records, per cell:
+//!
+//! * `tenants_throughput_per_sec` and `seconds` (timing; gated within
+//!   tolerance by `pcb bench diff`);
+//! * `resident_bytes` — the streaming-aggregation footprint, the
+//!   "O(shards), not O(tenants)" claim as a number (identity field:
+//!   byte-deterministic);
+//! * the aggregate waste distribution (`p50`/`p99`/`max`) next to
+//!   Theorem 1's `h` for the largest tenant class — how far a mixed
+//!   fleet sits below the worst case (identity fields).
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin fleet_bench [-- --smoke] [-- --out <path>]
+//! ```
+//!
+//! `--smoke` shrinks the tenant count per cell (CI); both modes run the
+//! same cells so `pcb bench diff` can structure-check a smoke artifact
+//! against the checked-in full baseline at `BENCH_fleet.json`.
+
+use std::time::Instant;
+
+use partial_compaction::fleet::{self, FleetConfig};
+use partial_compaction::workload::{MixWeights, MixerConfig};
+use partial_compaction::{bounds, ManagerKind, Params, RunConfig};
+use pcb_json::{Json, ToJson};
+
+/// One benchmark cell: a fleet configuration shared by smoke and full
+/// modes (only the tenant count differs).
+struct Cell {
+    name: &'static str,
+    manager: ManagerKind,
+    weights: MixWeights,
+}
+
+fn grid() -> Vec<Cell> {
+    vec![
+        Cell {
+            name: "mixed/first-fit",
+            manager: ManagerKind::FirstFit,
+            weights: MixWeights::default(),
+        },
+        Cell {
+            name: "adversary/first-fit",
+            manager: ManagerKind::FirstFit,
+            weights: MixWeights {
+                churn: 0,
+                ramp: 0,
+                replay: 0,
+                adversary: 1,
+            },
+        },
+        Cell {
+            name: "mixed/compacting",
+            manager: ManagerKind::PagesThm2,
+            weights: MixWeights::default(),
+        },
+    ]
+}
+
+/// Value of `--<flag> <path>` style options.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a path");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_fleet.json".into());
+    let tenants: u64 = if smoke { 1_000 } else { 20_000 };
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut total_seconds = 0.0f64;
+    for cell in grid() {
+        let cfg = FleetConfig {
+            tenants,
+            shards: 64,
+            manager: cell.manager,
+            mixer: MixerConfig {
+                weights: cell.weights,
+                ..MixerConfig::default()
+            },
+        };
+        // Byte-determinism gate: the aggregate report must not depend on
+        // the thread count.
+        let single = RunConfig::default();
+        let report = fleet::run(&cfg, &single).expect("fleet cell runs");
+        let threaded = fleet::run(&cfg, &RunConfig::default().with_threads(2))
+            .expect("fleet cell runs threaded");
+        assert_eq!(
+            report.to_json().to_string(),
+            threaded.to_json().to_string(),
+            "{}: aggregate report differs across thread counts",
+            cell.name
+        );
+
+        let start = Instant::now();
+        let timed_report = fleet::run(&cfg, &single).expect("fleet cell runs");
+        let seconds = start.elapsed().as_secs_f64();
+        total_seconds += seconds;
+        let throughput = tenants as f64 / seconds;
+        // Theorem 1's bound for the largest tenant class, as the
+        // reference line the measured distribution sits under.
+        let h = Params::new(cfg.mixer.m_max, cfg.mixer.log_n, cfg.mixer.c)
+            .map(bounds::thm1::factor)
+            .unwrap_or(1.0);
+        eprintln!(
+            "{:22} {tenants:7} tenants  {seconds:6.2}s  {throughput:8.0}/s  \
+             p50 {:.3}  p99 {:.3}  max {:.3}  (thm1 h {h:.3})",
+            cell.name, timed_report.p50_waste, timed_report.p99_waste, timed_report.max_waste,
+        );
+        rows.push(Json::object([
+            ("name", Json::from(cell.name)),
+            ("tenants", Json::from(tenants)),
+            ("shards", Json::from(cfg.shards as u64)),
+            ("seconds", Json::from(seconds)),
+            ("tenants_throughput_per_sec", Json::from(throughput)),
+            ("resident_bytes", Json::from(timed_report.resident_bytes)),
+            ("p50_waste", Json::from(timed_report.p50_waste)),
+            ("p99_waste", Json::from(timed_report.p99_waste)),
+            ("max_waste", Json::from(timed_report.max_waste)),
+            ("mean_waste", Json::from(timed_report.mean_waste)),
+            ("thm1_h", Json::from(h)),
+            (
+                "objects_placed",
+                Json::from(timed_report.accumulator.objects_placed),
+            ),
+            (
+                "words_moved",
+                Json::from(timed_report.accumulator.words_moved),
+            ),
+            ("identical_across_threads", Json::from(true)),
+        ]));
+    }
+
+    let report = Json::object([
+        ("smoke", Json::from(smoke)),
+        ("threads", Json::from(1u64)),
+        ("host_cores", Json::from(host_cores)),
+        ("tenants_per_cell", Json::from(tenants)),
+        ("cells", Json::Array(rows)),
+        ("total_seconds", Json::from(total_seconds)),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write artifact");
+    eprintln!("total {total_seconds:.2}s -> {out_path}");
+}

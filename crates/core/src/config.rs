@@ -1,0 +1,139 @@
+//! Typed run configuration, resolved once at the process boundary.
+//!
+//! Historically each module re-read its own environment variables —
+//! `PCB_THREADS` in [`parallel`](crate::parallel), `PCB_SUBSTRATE` in the
+//! heap's `SpaceMap` — which made the effective configuration of a run
+//! impossible to see in one place and easy to desynchronize (a test that
+//! sets a variable races every other test in the binary). [`RunConfig`]
+//! inverts that: the CLI (or a test) resolves the environment **once**,
+//! optionally overrides fields from flags, and threads the resulting
+//! value through `Sim`, the fleet simulator, and the exhaustive search.
+//! The environment variables remain the fallback for code that never
+//! sees a `RunConfig` (library users calling `par_map` directly), so the
+//! old behaviour is unchanged where the new API is not used.
+
+use core::fmt;
+
+use pcb_heap::Substrate;
+
+/// The resolved knobs of one run: worker threads, occupancy substrate,
+/// and telemetry collection.
+///
+/// Construct with [`RunConfig::from_env`] at the process boundary, then
+/// override fields from CLI flags; every field is plain data, so the
+/// value is `Copy` and freely shareable across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Worker threads for [`par_map_threads`](crate::parallel::par_map_threads)
+    /// fan-outs (≥ 1).
+    pub threads: usize,
+    /// Occupancy substrate for every heap the run creates.
+    pub substrate: Substrate,
+    /// Whether telemetry span collection is on.
+    pub telemetry: bool,
+}
+
+impl RunConfig {
+    /// Resolves the configuration from the environment: `PCB_THREADS`
+    /// (falling back to the machine's available parallelism),
+    /// `PCB_SUBSTRATE` (falling back to the bitmap substrate), and the
+    /// current telemetry state.
+    pub fn from_env() -> Self {
+        RunConfig {
+            threads: crate::parallel::thread_count(),
+            substrate: Substrate::from_env(),
+            telemetry: pcb_telemetry::enabled(),
+        }
+    }
+
+    /// Overrides the thread count (values < 1 are clamped to 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the substrate.
+    pub fn with_substrate(mut self, substrate: Substrate) -> Self {
+        self.substrate = substrate;
+        self
+    }
+
+    /// Overrides the telemetry toggle.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Applies the process-global side of the configuration (the
+    /// telemetry registry is a process singleton; threads and substrate
+    /// are threaded explicitly and need no global application).
+    pub fn apply(&self) {
+        if self.telemetry {
+            pcb_telemetry::enable();
+        } else {
+            pcb_telemetry::disable();
+        }
+    }
+}
+
+impl Default for RunConfig {
+    /// Single-threaded, default substrate, telemetry off — the fully
+    /// deterministic baseline used by tests and oracles.
+    fn default() -> Self {
+        RunConfig {
+            threads: 1,
+            substrate: Substrate::default(),
+            telemetry: false,
+        }
+    }
+}
+
+impl fmt::Display for RunConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "threads={} substrate={} telemetry={}",
+            self.threads,
+            self.substrate,
+            if self.telemetry { "on" } else { "off" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_deterministic_baseline() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.substrate, Substrate::Bitmap);
+        assert!(!cfg.telemetry);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = RunConfig::default()
+            .with_threads(4)
+            .with_substrate(Substrate::Reference)
+            .with_telemetry(true);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.substrate, Substrate::Reference);
+        assert!(cfg.telemetry);
+        assert_eq!(RunConfig::default().with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn from_env_produces_positive_threads() {
+        // Whatever the ambient environment, the resolved value is usable.
+        let cfg = RunConfig::from_env();
+        assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.to_string(), "threads=1 substrate=bitmap telemetry=off");
+    }
+}

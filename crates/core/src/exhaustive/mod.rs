@@ -268,6 +268,22 @@ pub fn try_worst_case(
     policy: SearchPolicy,
     max_states: usize,
 ) -> Result<SearchReport, SearchError> {
+    try_worst_case_with(params, policy, max_states, &crate::RunConfig::from_env())
+}
+
+/// [`try_worst_case`] with an explicit, already-resolved [`RunConfig`](crate::RunConfig)
+/// (`run.threads` replaces the `PCB_THREADS` lookup; the report is
+/// byte-identical for any value).
+///
+/// # Errors
+///
+/// Same as [`try_worst_case`].
+pub fn try_worst_case_with(
+    params: Params,
+    policy: SearchPolicy,
+    max_states: usize,
+    run: &crate::RunConfig,
+) -> Result<SearchReport, SearchError> {
     let _span = pcb_telemetry::span!("exhaustive.worst_case");
     let m = params.m();
     let limit = 4 * m * (params.log_n() as u64 + 2);
@@ -282,7 +298,7 @@ pub fn try_worst_case(
     // must not depend on any per-process randomness, so the shard sizes
     // behave identically from run to run. The interner's index consumes
     // the hash's high bits, so using the low bits here is independent.
-    let shards = parallel::thread_count().clamp(1, 64);
+    let shards = run.threads.clamp(1, 64);
     let shard_of = |state: &PackedState| (state.hash64() % shards as u64) as usize;
 
     let mut seen: Vec<Interner> = (0..shards).map(|_| Interner::new()).collect();
@@ -369,7 +385,7 @@ pub fn try_worst_case(
         // Level-synchronous expansion: fan the frontier across threads.
         let expanded: Vec<Result<(u64, Vec<PackedState>), SearchError>> =
             if frontier.len() >= PAR_LEVEL {
-                parallel::par_map(&frontier, |state| expand(state))
+                parallel::par_map_threads(run.threads, &frontier, |state| expand(state))
             } else {
                 frontier.iter().map(&expand).collect()
             };
@@ -562,6 +578,19 @@ mod tests {
         let nf82 = worst_case(toy(8, 1), SearchPolicy::NextFit, 3_000_000);
         assert_eq!(nf82.heap_size, 13);
         assert_eq!(nf82.states, 148_903);
+    }
+
+    #[test]
+    fn explicit_thread_counts_all_match_the_env_driven_search() {
+        let baseline = try_worst_case(toy(8, 2), SearchPolicy::FirstFit, 3_000_000)
+            .expect("toy")
+            .worst;
+        for threads in [1, 2, 4] {
+            let run = crate::RunConfig::default().with_threads(threads);
+            let report = try_worst_case_with(toy(8, 2), SearchPolicy::FirstFit, 3_000_000, &run)
+                .expect("toy");
+            assert_eq!(report.worst, baseline, "threads={threads}");
+        }
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`sim`] — run the paper's adversarial programs against a suite of
 //!   real allocators on a simulated heap and compare measured waste with
 //!   the theory;
+//! * [`fleet`] — simulate 10⁵–10⁷ independent tenant heaps with streaming
+//!   aggregation ([`RunConfig`] carries the resolved threads/substrate
+//!   configuration through every entry point);
 //! * re-exports of the three substrate crates: [`heap`]
 //!   (the interaction model), [`alloc`] (nine memory
 //!   managers), and [`adversary`] (the bad programs
@@ -64,8 +67,10 @@
 
 pub mod benchdiff;
 pub mod bounds;
+pub mod config;
 pub mod exhaustive;
 pub mod figures;
+pub mod fleet;
 pub mod parallel;
 mod params;
 pub mod plot;
@@ -73,7 +78,8 @@ pub mod reproduce;
 pub mod sim;
 pub mod sweep;
 
-pub use parallel::{par_map, thread_count};
+pub use config::RunConfig;
+pub use parallel::{par_map, par_map_threads, thread_count};
 pub use params::{Params, ParamsError};
 
 pub use pcb_adversary as adversary;

@@ -36,11 +36,10 @@ pub fn thread_count() -> usize {
 /// Maps `f` over `items` on up to [`thread_count`] threads, returning the
 /// results in input order.
 ///
-/// Work is distributed dynamically (an atomic cursor), so uneven item
-/// costs balance across workers; results are scattered back by index, so
-/// the output is identical to `items.iter().map(f).collect()` regardless
-/// of the thread count or scheduling. With one thread (or one item) it
-/// *is* that sequential expression — no threads are spawned.
+/// This is the environment-driven convenience form of
+/// [`par_map_threads`]; code that has a resolved
+/// [`RunConfig`](crate::RunConfig) should pass `config.threads` to
+/// [`par_map_threads`] instead of re-reading `PCB_THREADS` here.
 ///
 /// # Panics
 ///
@@ -51,8 +50,29 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_threads(thread_count(), items, f)
+}
+
+/// Maps `f` over `items` on up to `threads` threads, returning the
+/// results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven item
+/// costs balance across workers; results are scattered back by index, so
+/// the output is identical to `items.iter().map(f).collect()` regardless
+/// of the thread count or scheduling. With one thread (or one item) it
+/// *is* that sequential expression — no threads are spawned.
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f`, like the sequential map would.
+pub fn par_map_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let _span = pcb_telemetry::span!("parallel.par_map");
-    let threads = thread_count().min(items.len());
+    let threads = threads.max(1).min(items.len());
     if threads <= 1 {
         return items.iter().map(f).collect();
     }
@@ -128,5 +148,20 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_sequential() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                par_map_threads(threads, &items, |&x| x * 3 + 1),
+                expected,
+                "threads={threads}"
+            );
+        }
+        // 0 is clamped to the sequential path rather than panicking.
+        assert_eq!(par_map_threads(0, &items, |&x| x * 3 + 1), expected);
     }
 }

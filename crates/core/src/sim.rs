@@ -232,6 +232,13 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Applies a resolved [`RunConfig`](crate::RunConfig): pins the
+    /// substrate (a `Sim` runs on one thread, so the config's thread
+    /// count does not apply here).
+    pub fn config(self, run: &crate::RunConfig) -> Self {
+        self.substrate(run.substrate)
+    }
+
     /// Drives an execution to completion, attaching the configured
     /// collectors. With nothing attached this is the engine's zero-cost
     /// unobserved path.
@@ -361,29 +368,6 @@ impl<'a> Sim<'a> {
     }
 }
 
-/// Runs an adversary against a manager at the given parameters.
-///
-/// Thin wrapper kept for familiarity; new code should use the [`Sim`]
-/// builder, which names each knob and can attach observers.
-///
-/// # Errors
-///
-/// Propagates [`ExecutionError`]s (e.g. a manager that cannot serve a
-/// request) and rejects infeasible `P_F` parameter combinations.
-#[deprecated(note = "use the `sim::Sim` builder instead")]
-pub fn run(
-    params: Params,
-    adversary: Adversary,
-    manager: ManagerKind,
-    validate: bool,
-) -> Result<SimReport, SimError> {
-    Sim::new(params)
-        .adversary(adversary)
-        .manager(manager)
-        .validate(validate)
-        .run()
-}
-
 /// Theorem 1's bound for quick reference alongside a simulation.
 pub fn theoretical_bound(params: Params) -> f64 {
     thm1::factor(params)
@@ -492,13 +476,17 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrapper_matches_builder() {
-        #[allow(deprecated)]
-        let wrapped = run(small(), Adversary::PF, ManagerKind::FirstFit, false).unwrap();
-        let built = sim(ManagerKind::FirstFit).run().unwrap();
-        assert_eq!(wrapped.execution.heap_size, built.execution.heap_size);
-        assert_eq!(wrapped.h, built.h);
-        assert_eq!(wrapped.h_raw, built.h_raw);
+    fn config_pins_the_substrate() {
+        use crate::RunConfig;
+        let via_config = sim(ManagerKind::FirstFit)
+            .config(&RunConfig::default().with_substrate(pcb_heap::Substrate::Reference))
+            .run()
+            .unwrap();
+        let pinned = sim(ManagerKind::FirstFit)
+            .substrate(pcb_heap::Substrate::Reference)
+            .run()
+            .unwrap();
+        assert_eq!(via_config.execution.heap_size, pinned.execution.heap_size);
     }
 
     #[test]

@@ -16,6 +16,66 @@ use crate::manager::{AllocRequest, HeapOps, MemoryManager};
 use crate::program::Program;
 use crate::stats::StatSink;
 
+/// Allocation-free numeric summary of an execution.
+///
+/// The fleet harness runs millions of tenant heaps and keeps only
+/// O(shards) of aggregation state, so the per-tenant result must not
+/// allocate: this is [`Report`] minus the program/manager name strings,
+/// `Copy`, and extractable from a live [`Execution`] at any point via
+/// [`Execution::summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapSummary {
+    /// The compaction bound `c` (`u64::MAX` encodes "non-moving").
+    pub c: u64,
+    /// The program's live-space bound `M` in words.
+    pub live_bound: u64,
+    /// Measured heap size `HS` in words (peak used span).
+    pub heap_size: u64,
+    /// Peak live words.
+    pub peak_live: u64,
+    /// `HS / M`: the waste factor the paper's bounds speak about.
+    pub waste_factor: f64,
+    /// Fraction of allocated words that were moved (≤ 1/c by construction).
+    pub moved_fraction: f64,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Objects placed.
+    pub objects_placed: u64,
+    /// Objects freed.
+    pub objects_freed: u64,
+    /// Objects moved.
+    pub objects_moved: u64,
+    /// Words allocated in total.
+    pub words_placed: u64,
+    /// Words moved in total.
+    pub words_moved: u64,
+}
+
+impl HeapSummary {
+    fn new<P: Program + ?Sized>(heap: &Heap, program: &P, rounds: u32) -> Self {
+        let stats: HeapStats = heap.stats();
+        let m = program.live_bound().get();
+        HeapSummary {
+            c: heap.budget().c(),
+            live_bound: m,
+            heap_size: heap.heap_size().get(),
+            peak_live: heap.peak_live().get(),
+            waste_factor: if m == 0 {
+                0.0
+            } else {
+                heap.heap_size().get() as f64 / m as f64
+            },
+            moved_fraction: heap.budget().moved_fraction(),
+            rounds,
+            objects_placed: stats.objects_placed,
+            objects_freed: stats.objects_freed,
+            objects_moved: stats.objects_moved,
+            words_placed: stats.words_placed,
+            words_moved: stats.words_moved,
+        }
+    }
+}
+
 /// Summary of a finished (or aborted) execution.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -56,27 +116,22 @@ impl Report {
         manager: &M,
         rounds: u32,
     ) -> Self {
-        let stats: HeapStats = heap.stats();
-        let m = program.live_bound().get();
+        let s = HeapSummary::new(heap, program, rounds);
         Report {
             program: program.name().to_owned(),
             manager: manager.name().to_owned(),
-            c: heap.budget().c(),
-            live_bound: m,
-            heap_size: heap.heap_size().get(),
-            peak_live: heap.peak_live().get(),
-            waste_factor: if m == 0 {
-                0.0
-            } else {
-                heap.heap_size().get() as f64 / m as f64
-            },
-            moved_fraction: heap.budget().moved_fraction(),
-            rounds,
-            objects_placed: stats.objects_placed,
-            objects_freed: stats.objects_freed,
-            objects_moved: stats.objects_moved,
-            words_placed: stats.words_placed,
-            words_moved: stats.words_moved,
+            c: s.c,
+            live_bound: s.live_bound,
+            heap_size: s.heap_size,
+            peak_live: s.peak_live,
+            waste_factor: s.waste_factor,
+            moved_fraction: s.moved_fraction,
+            rounds: s.rounds,
+            objects_placed: s.objects_placed,
+            objects_freed: s.objects_freed,
+            objects_moved: s.objects_moved,
+            words_placed: s.words_placed,
+            words_moved: s.words_moved,
         }
     }
 }
@@ -215,6 +270,26 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         Ok(self.report())
     }
 
+    /// Runs rounds until the program finishes and returns the
+    /// allocation-free [`HeapSummary`] instead of a full [`Report`].
+    ///
+    /// This is the fleet hot path: identical execution to [`run`](Self::run)
+    /// (same rounds, same placements, same budget enforcement), but the
+    /// result carries no name strings, so a million tenant runs allocate
+    /// nothing for their results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecutionError`], like [`run`](Self::run).
+    pub fn run_summary(&mut self) -> Result<HeapSummary, ExecutionError> {
+        let _span = pcb_telemetry::span!("engine.run");
+        while !self.program.finished() && self.round < self.max_rounds {
+            self.step_round_inner(None)?;
+        }
+        self.publish_substrate_counters();
+        Ok(self.summary())
+    }
+
     /// Runs rounds until the program finishes, reporting every event to
     /// `observer`.
     ///
@@ -248,6 +323,12 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     /// Produces a report of the execution so far.
     pub fn report(&self) -> Report {
         Report::new(&self.heap, &self.program, &self.manager, self.round)
+    }
+
+    /// Produces the allocation-free numeric summary of the execution so
+    /// far (a [`Report`] minus the name strings).
+    pub fn summary(&self) -> HeapSummary {
+        HeapSummary::new(&self.heap, &self.program, self.round)
     }
 
     /// Executes one round: frees, then allocations.
@@ -421,6 +502,29 @@ mod tests {
         assert!((report.waste_factor - 0.16).abs() < 1e-12);
         assert_eq!(rec.count(|e| matches!(e, Event::Placed { .. })), 3);
         assert_eq!(rec.count(|e| matches!(e, Event::RoundStart { .. })), 2);
+    }
+
+    #[test]
+    fn summary_matches_report_field_for_field() {
+        let program = ScriptedProgram::new(Size::new(100))
+            .round([], [4, 4])
+            .round([0], [8]);
+        let mut exec = Execution::new(Heap::non_moving(), program, Bump::default());
+        let summary = exec.run_summary().unwrap();
+        let report = exec.report();
+        assert_eq!(summary, exec.summary());
+        assert_eq!(summary.c, report.c);
+        assert_eq!(summary.live_bound, report.live_bound);
+        assert_eq!(summary.heap_size, report.heap_size);
+        assert_eq!(summary.peak_live, report.peak_live);
+        assert_eq!(summary.waste_factor, report.waste_factor);
+        assert_eq!(summary.moved_fraction, report.moved_fraction);
+        assert_eq!(summary.rounds, report.rounds);
+        assert_eq!(summary.objects_placed, report.objects_placed);
+        assert_eq!(summary.objects_freed, report.objects_freed);
+        assert_eq!(summary.objects_moved, report.objects_moved);
+        assert_eq!(summary.words_placed, report.words_placed);
+        assert_eq!(summary.words_moved, report.words_moved);
     }
 
     #[test]

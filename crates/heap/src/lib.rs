@@ -67,7 +67,7 @@ mod trace;
 
 pub use addr::{Addr, Extent, Size};
 pub use budget::CompactionBudget;
-pub use engine::{Execution, NullObserver, Report};
+pub use engine::{Execution, HeapSummary, NullObserver, Report};
 pub use error::{ExecutionError, HeapError, SpaceError};
 pub use event::{Event, Observer, Observers, Recorder, Tick};
 pub use heap::{Heap, HeapStats};

@@ -10,7 +10,10 @@
 //!   configurable size distributions ([`SizeDist`]) and lifetime models
 //!   ([`Lifetime`]);
 //! * [`RampWorkload`] — phased grow/release behaviour, optionally with
-//!   escalating size scales that drift toward the adversarial regime.
+//!   escalating size scales that drift toward the adversarial regime;
+//! * [`TenantProgram`] + [`WorkloadMixer`] — an object-safe factory
+//!   interface over every family (churn/ramp/replay/adversary) plus the
+//!   deterministic per-tenant assignment used by `pcb fleet`.
 //!
 //! Experiment E9 (`cargo run -p pcb-bench --bin gap`) uses these to
 //! measure how far typical behaviour sits below the worst-case `h`.
@@ -33,10 +36,17 @@
 
 mod churn;
 mod dist;
+mod mixer;
 mod ramp;
 mod replay;
+mod tenant;
 
 pub use churn::{ChurnConfig, ChurnWorkload, Lifetime};
 pub use dist::SizeDist;
+pub use mixer::{tenant_rng, MixWeights, MixerConfig, TenantSpec, WorkloadMixer};
 pub use ramp::{RampConfig, RampWorkload};
 pub use replay::TraceWorkload;
+pub use tenant::{
+    builtin_tenants, tenant_by_kind, AdversaryTenant, ChurnTenant, RampTenant, ReplayTenant,
+    TenantProgram, TenantShape,
+};

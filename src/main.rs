@@ -7,6 +7,7 @@
 //! pcb simulate [options]                    run an adversary or workload
 //! pcb record <file.json> [options]          record a run as a trace
 //! pcb replay <file.json>                    re-validate a recorded trace
+//! pcb fleet [options]                       simulate a fleet of tenant heaps
 //! ```
 //!
 //! `simulate`/`record` options:
@@ -38,11 +39,11 @@
 use std::process::ExitCode;
 
 use partial_compaction::heap::{heat_map_rows, Execution, Heap, Program, TraceRecorder};
-use partial_compaction::workload::{ChurnConfig, ChurnWorkload, RampConfig, RampWorkload};
+use partial_compaction::workload::{tenant_by_kind, MixWeights, TenantShape};
 use partial_compaction::{
-    benchdiff, bounds, figures, telemetry, ManagerKind, Params, PfConfig, PfProgram,
+    benchdiff, bounds, figures, fleet, telemetry, ManagerKind, Params, PfConfig, PfProgram,
 };
-use partial_compaction::{Observers, Substrate, TimeSeries, TraceWriter};
+use partial_compaction::{Observers, RunConfig, Substrate, TimeSeries, TraceWriter};
 use partial_compaction::{PfVariant, RobsonProgram};
 
 fn main() -> ExitCode {
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("worst-case") => cmd_worst_case(&args[1..]),
         Some("reproduce") => {
@@ -92,18 +94,24 @@ const USAGE: &str = "\
 usage:
   pcb bounds <M_words> <log2_n> <c>
   pcb figure <1|2|3> [--plot]
-  pcb simulate [--program pf|pf-baseline|robson|churn|ramp]
+  pcb simulate [--program pf|pf-baseline|robson|churn|ramp|replay]
                [--manager <name>] [--m <words>] [--log-n <k>] [--c <c>]
-               [--map] [--validate] [--series <file>] [--every <k>]
-               [--stats] [--substrate bitmap|reference]
+               [--rounds <k>] [--allocs <k>] [--map] [--validate]
+               [--series <file>] [--every <k>] [--stats]
+               [--substrate bitmap|reference]
   pcb record <file.json|file.jsonl> [simulate options]
   pcb replay <file.json|file.jsonl>
+  pcb fleet [--tenants <n>] [--shards <n>] [--manager <name>]
+            [--seed <s>] [--m-min <words>] [--m-max <words>]
+            [--theta <zipf>] [--rounds <k>] [--allocs <k>]
+            [--mix churn,ramp,replay,adversary] [--c <c>]
+            [--threads <n>] [--substrate bitmap|reference] [--json]
   pcb bench diff <new.json> --against <baseline.json> [--tolerance <pct>]
   pcb sweep <bound> c <M_words> <log2_n> <c_from> <c_to>
   pcb sweep <bound> n <M_over_n> <c> <logn_from> <logn_to>
   pcb sweep rho <M_words> <log2_n> <c>
   pcb worst-case <M_words> <log2_n> [first-fit|best-fit|next-fit]
-                 [--max-states <n>]
+                 [--max-states <n>] [--threads <n>]
   pcb reproduce
     (bounds: thm1-lower thm2-upper robson-p2 robson-doubled
              bp11-upper bp11-lower)
@@ -219,6 +227,8 @@ struct SimOpts {
     trace_out: Option<String>,
     profile: bool,
     substrate: Option<Substrate>,
+    rounds: Option<u32>,
+    allocs: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
@@ -236,6 +246,8 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
         trace_out: None,
         profile: false,
         substrate: None,
+        rounds: None,
+        allocs: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -275,6 +287,20 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
                         |e: partial_compaction::heap::ParseSubstrateError| e.to_string(),
                     )?)
             }
+            "--rounds" => {
+                opts.rounds = Some(
+                    value("--rounds")?
+                        .parse()
+                        .map_err(|e| format!("--rounds: {e}"))?,
+                )
+            }
+            "--allocs" => {
+                opts.allocs = Some(
+                    value("--allocs")?
+                        .parse()
+                        .map_err(|e| format!("--allocs: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -284,20 +310,23 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
 fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let params = Params::new(opts.m, opts.log_n, opts.c).map_err(|e| e.to_string())?;
-    if opts.trace_out.is_some() || opts.profile {
-        telemetry::enable();
+    // The run configuration is resolved once, here at the boundary: the
+    // environment (`PCB_SUBSTRATE`, `PCB_THREADS`) is the fallback, flags
+    // override it, and everything downstream receives plain data.
+    let mut run = RunConfig::from_env().with_telemetry(opts.trace_out.is_some() || opts.profile);
+    if let Some(substrate) = opts.substrate {
+        run = run.with_substrate(substrate);
     }
+    run.apply();
 
-    let mut heap = if opts.manager.is_unbounded() {
+    let heap = if opts.manager.is_unbounded() {
         Heap::unlimited_compaction()
     } else if opts.manager.is_compacting() || opts.program.starts_with("pf") {
         Heap::new(opts.c)
     } else {
         Heap::non_moving()
-    };
-    if let Some(substrate) = opts.substrate {
-        heap = heap.with_substrate(substrate);
     }
+    .with_substrate(run.substrate);
     let budget_c = if opts.manager.is_unbounded() {
         0
     } else if opts.manager.is_compacting() || opts.program.starts_with("pf") {
@@ -319,8 +348,26 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
             Box::new(PfProgram::new(cfg))
         }
         "robson" => Box::new(RobsonProgram::new(opts.m, opts.log_n)),
-        "churn" => Box::new(ChurnWorkload::new(ChurnConfig::typical(opts.m, opts.log_n))),
-        "ramp" => Box::new(RampWorkload::new(RampConfig::benign(opts.m, opts.log_n))),
+        // The workload families share the fleet's dispatch path: one
+        // object-safe factory per family, instantiated for this shape.
+        name @ ("churn" | "ramp" | "replay") => {
+            let family = tenant_by_kind(name).expect("built-in family");
+            // Family defaults match the historical single-heap profiles
+            // (churn's `typical` 200x64; ramp's 12 benign phases).
+            let (rounds, allocs) = match name {
+                "churn" => (200, 64),
+                "ramp" => (12, 64),
+                _ => (24, 32),
+            };
+            family.instantiate(&TenantShape {
+                m: opts.m,
+                log_n: opts.log_n,
+                c: opts.c,
+                seed: 0x5EED,
+                rounds: opts.rounds.unwrap_or(rounds),
+                allocs_per_round: opts.allocs.unwrap_or(allocs),
+            })
+        }
         other => return Err(format!("unknown program {other}")),
     };
 
@@ -422,6 +469,116 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     Ok(())
 }
 
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let mut cfg = fleet::FleetConfig::default();
+    let mut run = RunConfig::from_env();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tenants" => {
+                cfg.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--shards" => {
+                cfg.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--manager" => {
+                cfg.manager = value("--manager")?
+                    .parse()
+                    .map_err(|e: partial_compaction::alloc::ParseManagerKindError| e.to_string())?
+            }
+            "--seed" => {
+                cfg.mixer.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--m-min" => {
+                cfg.mixer.m_min = value("--m-min")?
+                    .parse()
+                    .map_err(|e| format!("--m-min: {e}"))?
+            }
+            "--m-max" => {
+                cfg.mixer.m_max = value("--m-max")?
+                    .parse()
+                    .map_err(|e| format!("--m-max: {e}"))?
+            }
+            "--theta" => {
+                cfg.mixer.zipf_theta = value("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
+            "--rounds" => {
+                cfg.mixer.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--allocs" => {
+                cfg.mixer.allocs_per_round = value("--allocs")?
+                    .parse()
+                    .map_err(|e| format!("--allocs: {e}"))?
+            }
+            "--c" => cfg.mixer.c = value("--c")?.parse().map_err(|e| format!("--c: {e}"))?,
+            "--mix" => {
+                let raw = value("--mix")?;
+                let parts: Vec<u32> = raw
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|e| format!("--mix: {e}")))
+                    .collect::<Result<_, _>>()?;
+                let [churn, ramp, replay, adversary] = parts[..] else {
+                    return Err("--mix needs four weights: churn,ramp,replay,adversary".into());
+                };
+                cfg.mixer.weights = MixWeights {
+                    churn,
+                    ramp,
+                    replay,
+                    adversary,
+                };
+            }
+            "--threads" => {
+                run = run.with_threads(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--substrate" => {
+                run =
+                    run.with_substrate(value("--substrate")?.parse().map_err(
+                        |e: partial_compaction::heap::ParseSubstrateError| e.to_string(),
+                    )?)
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    run.apply();
+    let start = std::time::Instant::now();
+    let report = fleet::run(&cfg, &run).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    if json {
+        println!("{}", pcb_json::ToJson::to_json(&report));
+    } else {
+        print!("{report}");
+    }
+    // Wall-clock goes to stderr only: the report itself (stdout and JSON)
+    // is byte-deterministic across thread counts and machines.
+    eprintln!(
+        "ran {} tenants in {elapsed:.2}s ({:.0} tenants/sec, {run})",
+        report.tenants,
+        report.tenants as f64 / elapsed.max(1e-9)
+    );
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("diff") => cmd_bench_diff(&args[1..]),
@@ -518,9 +675,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_worst_case(args: &[String]) -> Result<(), String> {
-    use partial_compaction::exhaustive::{try_worst_case, SearchPolicy};
+    use partial_compaction::exhaustive::{try_worst_case_with, SearchPolicy};
     let mut positional: Vec<&String> = Vec::new();
     let mut max_states = 50_000_000usize;
+    let mut run = RunConfig::from_env();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -530,6 +688,14 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| "--max-states needs a value".to_string())?
                     .parse()
                     .map_err(|e| format!("--max-states: {e}"))?
+            }
+            "--threads" => {
+                run = run.with_threads(
+                    it.next()
+                        .ok_or_else(|| "--threads needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(arg),
@@ -563,7 +729,7 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
             "exhaustive search is toy-scale only (M <= 16, log n <= 3); got {params}"
         ));
     }
-    let report = try_worst_case(params, policy, max_states)
+    let report = try_worst_case_with(params, policy, max_states, &run)
         .map_err(|e| format!("parameters not toy enough: {e}"))?;
     println!(
         "true worst case for {} at M={}, n={}: HS = {} words ({} reachable states)",
