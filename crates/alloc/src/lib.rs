@@ -46,9 +46,9 @@ pub use buddy::{BuddyAllocator, BuddySelect};
 pub use compacting::CompactingManager;
 pub use freelist::{FitPolicy, FreeSpace, TakeStats};
 pub use full_compact::FullCompactor;
-pub use pages::{PageManager, SLOTS_PER_PAGE};
+pub use pages::{PageGeometryError, PageManager, SLOTS_PER_PAGE};
 pub use policy::FreeListManager;
-pub use registry::{ManagerKind, ParseManagerKindError};
+pub use registry::{BuildError, ManagerKind, ParseManagerKindError};
 pub use robson::RobsonAllocator;
 pub use segregated::SegregatedManager;
 pub use tlsf::TlsfManager;

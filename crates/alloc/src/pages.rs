@@ -23,6 +23,7 @@
 //! move; the density threshold only decides when evacuation is
 //! *worthwhile* space-wise.
 
+use core::fmt;
 use std::collections::{BTreeMap, BTreeSet};
 
 use pcb_heap::{
@@ -97,6 +98,48 @@ impl ClassState {
     }
 }
 
+/// Invalid [`PageManager`] construction parameters (the typed form of
+/// the constructor panics, for harness paths that must exit cleanly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageGeometryError {
+    /// The compaction bound was below 2.
+    BoundTooSmall {
+        /// The offending bound.
+        c: u64,
+    },
+    /// The maximum size-class order was 46 or more.
+    OrderTooLarge {
+        /// The offending order.
+        max_order: u32,
+    },
+    /// The slots-per-page count was not a power of two at least 4.
+    BadSlots {
+        /// The offending slot count.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for PageGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageGeometryError::BoundTooSmall { c } => {
+                write!(f, "compaction bound must be at least 2 (got {c})")
+            }
+            PageGeometryError::OrderTooLarge { max_order } => {
+                write!(f, "max_order {max_order} is unreasonably large")
+            }
+            PageGeometryError::BadSlots { slots } => {
+                write!(
+                    f,
+                    "slots per page must be a power of two >= 4 (got {slots})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageGeometryError {}
+
 /// Size-class page manager with density-triggered evacuation.
 ///
 /// ```
@@ -128,9 +171,22 @@ impl PageManager {
     ///
     /// # Panics
     ///
-    /// Panics if `c < 2` or `max_order >= 46`.
+    /// Panics if `c < 2` or `max_order >= 46`; [`try_new`](Self::try_new)
+    /// reports the same conditions as a typed error instead.
     pub fn new(c: u64, max_order: u32) -> Self {
         Self::with_geometry(c, max_order, SLOTS_PER_PAGE as usize)
+    }
+
+    /// Like [`new`](Self::new), but reports invalid parameters as a
+    /// [`PageGeometryError`] instead of panicking — the harness-facing
+    /// constructor, where a user's parameter mistake must become a clean
+    /// exit message rather than a backtrace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageGeometryError`] if `c < 2` or `max_order >= 46`.
+    pub fn try_new(c: u64, max_order: u32) -> Result<Self, PageGeometryError> {
+        Self::try_with_geometry(c, max_order, SLOTS_PER_PAGE as usize)
     }
 
     /// Creates a manager with `slots` objects per page instead of the
@@ -142,23 +198,41 @@ impl PageManager {
     /// Panics if `c < 2`, `max_order >= 46`, or `slots` is not a power of
     /// two at least 4.
     pub fn with_geometry(c: u64, max_order: u32, slots: usize) -> Self {
-        assert!(c >= 2, "compaction bound must be at least 2");
-        assert!(
-            max_order < 46,
-            "max_order {max_order} is unreasonably large"
-        );
-        assert!(
-            slots >= 4 && slots.is_power_of_two(),
-            "slots per page must be a power of two >= 4 (got {slots})"
-        );
-        PageManager {
+        match Self::try_with_geometry(c, max_order, slots) {
+            Ok(manager) => manager,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`with_geometry`](Self::with_geometry), but reports invalid
+    /// parameters as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageGeometryError`] describing the first violated
+    /// constraint.
+    pub fn try_with_geometry(
+        c: u64,
+        max_order: u32,
+        slots: usize,
+    ) -> Result<Self, PageGeometryError> {
+        if c < 2 {
+            return Err(PageGeometryError::BoundTooSmall { c });
+        }
+        if max_order >= 46 {
+            return Err(PageGeometryError::OrderTooLarge { max_order });
+        }
+        if slots < 4 || !slots.is_power_of_two() {
+            return Err(PageGeometryError::BadSlots { slots });
+        }
+        Ok(PageManager {
             classes: vec![ClassState::default(); max_order as usize + 1],
             pool: FreeSpace::new(),
             max_order,
             slots,
             sparse_live: slots / 4,
             evictions: 0,
-        }
+        })
     }
 
     /// The live-slot fraction at or below which pages are evacuated

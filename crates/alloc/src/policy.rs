@@ -4,7 +4,10 @@
 //! so the paper's no-compaction results apply to them directly. They also
 //! serve as the non-moving baselines in the empirical experiments.
 
-use pcb_heap::{Addr, AllocRequest, HeapOps, MemoryManager, ObjectId, PlacementError, Size};
+use pcb_heap::{
+    Addr, AllocRequest, HeapOps, MemoryManager, MirrorCheck, ObjectId, PlacementError, Size,
+    SpaceMap,
+};
 
 use crate::freelist::{FitPolicy, FreeSpace};
 
@@ -84,6 +87,58 @@ impl MemoryManager for FreeListManager {
     fn note_free(&mut self, _id: ObjectId, addr: Addr, size: Size) {
         self.space.release(addr, size);
     }
+
+    /// The free list is a redundant mirror of the ground truth: every
+    /// gap it would hand out must be free in the referee. The check is
+    /// one-sided by design — the mirror may legitimately not know about
+    /// free space (it never saw a release there), but it must never
+    /// claim free space that the referee says is occupied, because that
+    /// is the corruption class that turns into an overlapping placement.
+    fn mirror_check(&self, space: &SpaceMap) -> MirrorCheck {
+        if let Err(detail) = self.space.check_invariants() {
+            return MirrorCheck::Divergent(format!("free-list invariants broken: {detail}"));
+        }
+        for gap in self.space.gaps() {
+            if !space.is_free(gap) {
+                return MirrorCheck::Divergent(format!(
+                    "free-list gap [{}, {}) is occupied in the space map",
+                    gap.start().get(),
+                    gap.end().get()
+                ));
+            }
+        }
+        // Both sides retreat their frontier to one past the highest
+        // occupied word, so a mirror frontier *below* the referee's
+        // means the mirror believes the referee's top objects are free
+        // — the frontier-placement flavour of the same corruption.
+        if self.space.frontier() < space.frontier() {
+            return MirrorCheck::Divergent(format!(
+                "free-list frontier {} is below the space-map frontier {}",
+                self.space.frontier().get(),
+                space.frontier().get()
+            ));
+        }
+        MirrorCheck::Clean
+    }
+
+    /// Plants a guaranteed-detectable corruption: one word that the
+    /// referee knows is live is released into the free list, as if a
+    /// stray bit-flip had resurrected it. The victim is chosen from
+    /// `roll` over the referee's extents (address order on both
+    /// substrates), so the same roll corrupts the same word everywhere.
+    fn inject_mirror_fault(&mut self, roll: u64, space: &SpaceMap) -> bool {
+        let occupied = space.iter().count();
+        if occupied == 0 {
+            return false;
+        }
+        let (extent, _) = space
+            .iter()
+            .nth(roll as usize % occupied)
+            .expect("index < count");
+        let word = extent.start().get() + roll % extent.size().get();
+        self.space.release(Addr::new(word), Size::new(1));
+        true
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +184,40 @@ mod tests {
         // With equal-size holes worst-fit still reuses them.
         let report = run_script(FitPolicy::WorstFit);
         assert_eq!(report.heap_size, 32);
+    }
+
+    #[test]
+    fn injected_mirror_fault_is_caught_by_mirror_check() {
+        use pcb_heap::Substrate;
+        for policy in FitPolicy::ALL {
+            for substrate in Substrate::ALL {
+                let program = ScriptedProgram::new(Size::new(1024))
+                    .round([], [4, 4, 4, 4])
+                    .round([1, 3], [2]);
+                let mut exec = Execution::new(
+                    Heap::non_moving().with_substrate(substrate),
+                    program,
+                    FreeListManager::new(policy),
+                );
+                exec.run().expect("clean run");
+                let (heap, _, mut manager) = exec.into_parts();
+                assert_eq!(
+                    manager.mirror_check(heap.space()),
+                    MirrorCheck::Clean,
+                    "{} on {substrate:?} diverged without a fault",
+                    policy.name()
+                );
+                assert!(manager.inject_mirror_fault(0xDEAD_BEEF, heap.space()));
+                assert!(
+                    matches!(
+                        manager.mirror_check(heap.space()),
+                        MirrorCheck::Divergent(_)
+                    ),
+                    "{} on {substrate:?} missed the planted fault",
+                    policy.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -123,9 +123,31 @@ impl ManagerKind {
     }
 
     /// Instantiates the manager for the experiment parameters `(M, n, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter combinations the kind cannot serve (see
+    /// [`try_build`](Self::try_build), which reports them as a typed
+    /// error instead).
     pub fn build(self, params: &Params) -> Box<dyn MemoryManager> {
+        match self.try_build(params) {
+            Ok(manager) => manager,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`build`](Self::build), but reports parameter combinations
+    /// the kind cannot serve as a [`BuildError`] instead of panicking —
+    /// the constructor for harness paths (CLI, fleet) where a user's
+    /// parameter mistake must become a clean exit message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] naming the kind and the violated
+    /// constraint.
+    pub fn try_build(self, params: &Params) -> Result<Box<dyn MemoryManager>, BuildError> {
         let (c, m, log_n) = (params.c(), params.m(), params.log_n());
-        match self {
+        Ok(match self {
             ManagerKind::FirstFit => Box::new(FreeListManager::new(FitPolicy::FirstFit)),
             ManagerKind::BestFit => Box::new(FreeListManager::new(FitPolicy::BestFit)),
             ManagerKind::WorstFit => Box::new(FreeListManager::new(FitPolicy::WorstFit)),
@@ -135,11 +157,35 @@ impl ManagerKind {
             ManagerKind::Robson => Box::new(RobsonAllocator::new(log_n)),
             ManagerKind::Tlsf => Box::new(TlsfManager::new()),
             ManagerKind::CompactingBp11 => Box::new(CompactingManager::new(c, m)),
-            ManagerKind::PagesThm2 => Box::new(PageManager::new(c.max(2), log_n)),
+            ManagerKind::PagesThm2 => Box::new(PageManager::try_new(c.max(2), log_n).map_err(
+                |e| BuildError {
+                    kind: self,
+                    detail: e.to_string(),
+                },
+            )?),
             ManagerKind::FullCompaction => Box::new(FullCompactor::new()),
-        }
+        })
     }
 }
+
+/// A [`ManagerKind`] that cannot be instantiated for the given
+/// parameters (e.g. a size-class order beyond the page manager's
+/// geometry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// The kind that failed to build.
+    pub kind: ManagerKind,
+    /// The violated constraint, human-readable.
+    pub detail: String,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot build manager `{}`: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 impl fmt::Display for ManagerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -206,6 +252,29 @@ mod tests {
             let report = exec.run().unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert_eq!(report.manager, kind.name());
             assert_eq!(report.objects_placed, 9, "{kind}");
+        }
+    }
+
+    #[test]
+    fn try_build_reports_unbuildable_geometry_as_a_typed_error() {
+        // log_n = 46 passes Params validation but exceeds the page
+        // manager's geometry: try_build must say so without panicking.
+        let params = Params::new((1 << 46) + 1, 46, 10).unwrap();
+        let err = match ManagerKind::PagesThm2.try_build(&params) {
+            Err(e) => e,
+            Ok(_) => panic!("log_n = 46 must not build a page manager"),
+        };
+        assert_eq!(err.kind, ManagerKind::PagesThm2);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("pages-thm2") && msg.contains("max_order"),
+            "{msg}"
+        );
+
+        // Buildable parameters succeed for every kind.
+        let params = Params::new(256, 6, 10).unwrap();
+        for kind in ManagerKind::WITH_BASELINE {
+            assert!(kind.try_build(&params).is_ok(), "{kind}");
         }
     }
 

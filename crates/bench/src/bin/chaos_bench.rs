@@ -1,0 +1,151 @@
+//! Chaos-harness benchmark: the cost of being able to break things, and
+//! how fast breakage is noticed.
+//!
+//! Two claims from DESIGN.md §2.12, as numbers:
+//!
+//! * **Fault-free overhead.** An armed [`FaultPlan`] adds one
+//!   splitmix64 roll per decision point; an unarmed one a single array
+//!   load. The benchmark times the same fleet twice — unarmed vs armed
+//!   with a rate so low it never fires — round-robin to cancel machine
+//!   drift, and reports `chaos_overhead_pct` (timing key, gated in
+//!   percentage points by `pcb bench diff`).
+//! * **Detection latency.** With a mirror corruption injected at a
+//!   chaos-chosen round and paranoia sweeping every `k` rounds, the
+//!   divergence must surface within `k` rounds. The table pins, per
+//!   cadence, the injected and detected rounds from a deterministic
+//!   seed scan — identity fields, byte-stable across hosts.
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin chaos_bench [-- --smoke] [-- --out <path>]
+//! ```
+
+use std::time::Instant;
+
+use partial_compaction::fleet::{self, FleetConfig};
+use partial_compaction::heap::{Execution, ExecutionError, Heap};
+use partial_compaction::workload::{ChurnConfig, ChurnWorkload, MixerConfig, SizeDist};
+use partial_compaction::{FaultPlan, FaultSite, ManagerKind, Params, RunConfig};
+use pcb_json::Json;
+
+/// Value of `--<flag> <path>` style options.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a path");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Times one fleet run under `run` and returns the wall seconds.
+fn timed_fleet(cfg: &FleetConfig, run: &RunConfig) -> f64 {
+    let start = Instant::now();
+    fleet::run(cfg, run).expect("fleet runs");
+    start.elapsed().as_secs_f64()
+}
+
+/// One detection-latency row: the first plan seed (scanned
+/// deterministically from 0) whose injected mirror corruption is caught
+/// by the paranoia sweep rather than by a referee collision, so the
+/// latency is the sweep's and the row is byte-stable.
+fn detection_row(cadence: u32) -> Json {
+    const M: u64 = 1 << 12;
+    const LOG_N: u32 = 6;
+    let params = Params::new(M, LOG_N, 2).expect("valid params");
+    for plan_seed in 0u64..64 {
+        let mut cfg = ChurnConfig::typical(M, LOG_N);
+        cfg.rounds = 64;
+        cfg.allocs_per_round = 16;
+        cfg.target_live = 0.5;
+        // Fixed 4-word objects: the injected corruption is a lone free
+        // word inside an occupied extent, so no request ever lands on it
+        // and the paranoia sweep — not a referee collision — is what
+        // catches it, making the latency the sweep's by construction.
+        cfg.dist = SizeDist::Fixed(4);
+        let manager = ManagerKind::FirstFit.try_build(&params).expect("builds");
+        let plan = FaultPlan::new(plan_seed).with_rate(FaultSite::MirrorFlip, 1_000_000);
+        let mut exec = Execution::new(Heap::non_moving(), ChurnWorkload::new(cfg), manager)
+            .with_chaos(plan)
+            .with_paranoia(cadence);
+        if let Err(ExecutionError::MirrorDivergence {
+            round,
+            injected_round: Some(injected),
+            ..
+        }) = exec.run_summary()
+        {
+            let latency = round - injected;
+            eprintln!(
+                "paranoia {cadence}: injected @ {injected}, detected @ {round} \
+                 (latency {latency} rounds, seed {plan_seed})"
+            );
+            return Json::object([
+                ("paranoia", Json::from(u64::from(cadence))),
+                ("plan_seed", Json::from(plan_seed)),
+                ("injected_round", Json::from(u64::from(injected))),
+                ("detected_round", Json::from(u64::from(round))),
+                ("latency_rounds", Json::from(u64::from(latency))),
+                ("within_cadence", Json::from(latency < cadence)),
+            ]);
+        }
+    }
+    panic!("no seed in 0..64 yields a paranoia-detected divergence at cadence {cadence}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_chaos.json".into());
+    let tenants: u64 = if smoke { 1_000 } else { 10_000 };
+    let iterations = if smoke { 2 } else { 5 };
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let total = Instant::now();
+
+    let cfg = FleetConfig {
+        tenants,
+        shards: 64,
+        manager: ManagerKind::FirstFit,
+        mixer: MixerConfig::default(),
+    };
+    let unarmed = RunConfig::default();
+    // One part per million on the tenant-panic stream: the plan is armed
+    // (every decision point pays the roll) but over `tenants` decisions
+    // it is overwhelmingly unlikely to fire — and if it ever does, the
+    // panic is quarantined, not timed differently.
+    let armed =
+        RunConfig::default().with_chaos(FaultPlan::new(1).with_rate(FaultSite::TenantPanic, 1));
+    // Round-robin the two modes within each iteration so slow-machine
+    // drift hits both equally.
+    let (mut unarmed_seconds, mut armed_seconds) = (0.0f64, 0.0f64);
+    for _ in 0..iterations {
+        unarmed_seconds += timed_fleet(&cfg, &unarmed);
+        armed_seconds += timed_fleet(&cfg, &armed);
+    }
+    let overhead_pct = (armed_seconds - unarmed_seconds) / unarmed_seconds * 100.0;
+    eprintln!(
+        "fault-free overhead: unarmed {unarmed_seconds:.2}s, armed {armed_seconds:.2}s \
+         ({overhead_pct:+.1}%) over {iterations} iterations"
+    );
+
+    let detection: Vec<Json> = [1u32, 2, 4, 8].iter().map(|&k| detection_row(k)).collect();
+
+    let report = Json::object([
+        ("smoke", Json::from(smoke)),
+        ("threads", Json::from(1u64)),
+        ("host_cores", Json::from(host_cores)),
+        ("tenants", Json::from(tenants)),
+        ("iterations", Json::from(iterations as u64)),
+        ("unarmed_seconds", Json::from(unarmed_seconds)),
+        ("armed_seconds", Json::from(armed_seconds)),
+        ("chaos_overhead_pct", Json::from(overhead_pct)),
+        (
+            "overhead_within_budget",
+            Json::from(overhead_pct.abs() <= 25.0),
+        ),
+        ("detection", Json::Array(detection)),
+        ("total_seconds", Json::from(total.elapsed().as_secs_f64())),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write artifact");
+    eprintln!("total {:.2}s -> {out_path}", total.elapsed().as_secs_f64());
+}

@@ -14,6 +14,7 @@
 
 use core::fmt;
 
+use pcb_chaos::FaultPlan;
 use pcb_heap::Substrate;
 
 /// The resolved knobs of one run: worker threads, occupancy substrate,
@@ -31,6 +32,12 @@ pub struct RunConfig {
     pub substrate: Substrate,
     /// Whether telemetry span collection is on.
     pub telemetry: bool,
+    /// Deterministic fault schedule threaded into every execution the
+    /// run creates; empty (the default) injects nothing at zero cost.
+    pub chaos: FaultPlan,
+    /// Cross-check manager mirrors against the ground truth every this
+    /// many rounds; 0 (the default) disables paranoia mode.
+    pub paranoia: u32,
 }
 
 impl RunConfig {
@@ -43,6 +50,8 @@ impl RunConfig {
             threads: crate::parallel::thread_count(),
             substrate: Substrate::from_env(),
             telemetry: pcb_telemetry::enabled(),
+            chaos: FaultPlan::empty(),
+            paranoia: 0,
         }
     }
 
@@ -61,6 +70,18 @@ impl RunConfig {
     /// Overrides the telemetry toggle.
     pub fn with_telemetry(mut self, telemetry: bool) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Overrides the fault schedule.
+    pub fn with_chaos(mut self, chaos: FaultPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Overrides the paranoia cadence (0 disables).
+    pub fn with_paranoia(mut self, paranoia: u32) -> Self {
+        self.paranoia = paranoia;
         self
     }
 
@@ -84,6 +105,8 @@ impl Default for RunConfig {
             threads: 1,
             substrate: Substrate::default(),
             telemetry: false,
+            chaos: FaultPlan::empty(),
+            paranoia: 0,
         }
     }
 }
@@ -96,7 +119,16 @@ impl fmt::Display for RunConfig {
             self.threads,
             self.substrate,
             if self.telemetry { "on" } else { "off" }
-        )
+        )?;
+        // The chaos knobs print only when set, so the common (fault-free)
+        // display stays exactly as it always was.
+        if !self.chaos.is_empty() {
+            write!(f, " chaos={}", self.chaos)?;
+        }
+        if self.paranoia != 0 {
+            write!(f, " paranoia={}", self.paranoia)?;
+        }
+        Ok(())
     }
 }
 
@@ -135,5 +167,17 @@ mod tests {
     fn display_is_compact() {
         let cfg = RunConfig::default();
         assert_eq!(cfg.to_string(), "threads=1 substrate=bitmap telemetry=off");
+    }
+
+    #[test]
+    fn display_names_the_chaos_knobs_only_when_set() {
+        use pcb_chaos::FaultSite;
+        let cfg = RunConfig::default()
+            .with_chaos(FaultPlan::new(7).with_rate(FaultSite::TenantPanic, 50))
+            .with_paranoia(8);
+        assert_eq!(
+            cfg.to_string(),
+            "threads=1 substrate=bitmap telemetry=off chaos=seed=7,tenant-panic=50 paranoia=8"
+        );
     }
 }

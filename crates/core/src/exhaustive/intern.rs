@@ -97,6 +97,12 @@ impl Interner {
         &self.arena[off + 1..off + 1 + words]
     }
 
+    /// Every interned payload in id (= insertion) order — the
+    /// checkpoint/serialization path.
+    pub fn payloads(&self) -> impl Iterator<Item = &[u16]> + '_ {
+        (0..self.offsets.len() as u32).map(|id| self.payload_at(id))
+    }
+
     /// Interns `state`; returns `true` when it was not already present.
     pub fn insert(&mut self, state: &PackedState) -> bool {
         let payload = state.payload();

@@ -47,12 +47,14 @@
 //! The seed implementation survives as [`mod@reference`], the oracle that
 //! the packed pipeline is tested byte-identical against.
 
+pub mod checkpoint;
 pub mod intern;
 pub mod packed;
 pub mod reference;
 
 use std::cell::RefCell;
 
+use crate::fleet::CheckpointOptions;
 use crate::parallel;
 use crate::params::Params;
 use intern::Interner;
@@ -285,62 +287,209 @@ pub fn try_worst_case_with(
     run: &crate::RunConfig,
 ) -> Result<SearchReport, SearchError> {
     let _span = pcb_telemetry::span!("exhaustive.worst_case");
-    let m = params.m();
-    let limit = 4 * m * (params.log_n() as u64 + 2);
-    if limit > u16::MAX as u64 {
-        return Err(SearchError::EncodingOverflow { limit });
+    let mut search = Search::new(params, policy, max_states, run)?;
+    while !search.is_done() {
+        search.step()?;
     }
-    // Sizes: the P2 discipline.
-    let sizes: Vec<u64> = (0..=params.log_n()).map(|k| 1u64 << k).collect();
-    let has_rover = policy.has_rover();
+    Ok(search.into_report())
+}
 
-    // Stable shard assignment from the precomputed hash: the partition
-    // must not depend on any per-process randomness, so the shard sizes
-    // behave identically from run to run. The interner's index consumes
-    // the hash's high bits, so using the low bits here is independent.
-    let shards = run.threads.clamp(1, 64);
-    let shard_of = |state: &PackedState| (state.hash64() % shards as u64) as usize;
+/// The result of a checkpointed search.
+#[derive(Debug)]
+pub enum SearchOutcome {
+    /// The frontier drained; the certified report.
+    Complete(SearchReport),
+    /// The search stopped at `stop_after` levels with a checkpoint on
+    /// disk; resume to continue.
+    Paused {
+        /// BFS levels expanded so far.
+        levels_done: usize,
+    },
+}
 
-    let mut seen: Vec<Interner> = (0..shards).map(|_| Interner::new()).collect();
-    let root = SCRATCH.with(|scratch| {
-        let scratch = &mut scratch.borrow_mut().words;
-        PackedState::encode(&[], has_rover.then_some(0), scratch)
-    });
-    seen[shard_of(&root)].insert(&root);
-    let mut frontier: Vec<PackedState> = vec![root];
-    let mut worst = 0u64;
-    let mut stats = SearchStats {
-        levels: 0,
-        peak_frontier: 1,
-        payload_words: 0,
-        resident_bytes: 0,
-    };
+/// Errors from a checkpointed search: either the search itself failed,
+/// or its checkpoint could not be written/read/matched.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The underlying search failed (cap exceeded, encoding overflow).
+    Search(SearchError),
+    /// The checkpoint could not be written, parsed, or belongs to a
+    /// different search.
+    Checkpoint(String),
+}
 
-    // Pure successor function: span of the state plus every state one
-    // allocation or one free away, encoded directly from the decoded
-    // parent through this worker's scratch buffers. Safe to evaluate
-    // from any thread.
-    let expand = |state: &PackedState| -> Result<(u64, Vec<PackedState>), SearchError> {
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Search(e) => write!(f, "{e}"),
+            ResumeError::Checkpoint(msg) => write!(f, "search checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Search(e) => Some(e),
+            ResumeError::Checkpoint(_) => None,
+        }
+    }
+}
+
+/// [`try_worst_case_with`] with level-granularity checkpoint/resume: the
+/// seen-set, frontier, and running maximum are saved to `opts.path`
+/// every `opts.every` BFS levels, and — when `opts.resume` is set — the
+/// search continues from the saved level instead of the root.
+///
+/// The [`WorstCase`] of a resumed search is identical to an
+/// uninterrupted one (the reachable set does not depend on where the
+/// fold was cut); of the stats only `resident_bytes` may differ, since
+/// it reflects allocator capacity history rather than the result.
+///
+/// # Errors
+///
+/// [`ResumeError::Search`] as for [`try_worst_case_with`];
+/// [`ResumeError::Checkpoint`] for unreadable or mismatched checkpoints.
+pub fn try_worst_case_resumable(
+    params: Params,
+    policy: SearchPolicy,
+    max_states: usize,
+    run: &crate::RunConfig,
+    opts: &CheckpointOptions,
+) -> Result<SearchOutcome, ResumeError> {
+    let _span = pcb_telemetry::span!("exhaustive.worst_case");
+    let mut search = Search::new(params, policy, max_states, run).map_err(ResumeError::Search)?;
+    if opts.resume {
+        checkpoint::restore(&mut search, params, policy, opts)?;
+    }
+    let every = opts.every.max(1);
+    let mut since_save = 0usize;
+    while !search.is_done() {
+        if let Some(stop) = opts.stop_after {
+            if search.stats.levels >= stop {
+                checkpoint::save(&search, params, policy, opts)?;
+                return Ok(SearchOutcome::Paused {
+                    levels_done: search.stats.levels,
+                });
+            }
+        }
+        search.step().map_err(ResumeError::Search)?;
+        since_save += 1;
+        if since_save >= every {
+            checkpoint::save(&search, params, policy, opts)?;
+            since_save = 0;
+        }
+    }
+    // A final save so that resuming a finished search re-emits its
+    // report without re-expanding anything.
+    checkpoint::save(&search, params, policy, opts)?;
+    Ok(SearchOutcome::Complete(search.into_report()))
+}
+
+/// The level-synchronous BFS, reified so it can be stepped, paused, and
+/// serialized: everything [`try_worst_case_with`] used to hold in local
+/// variables.
+#[derive(Debug)]
+struct Search {
+    policy: SearchPolicy,
+    m: u64,
+    limit: u64,
+    sizes: Vec<u64>,
+    has_rover: bool,
+    threads: usize,
+    shards: usize,
+    max_states: usize,
+    /// Hash-sharded seen-set, one interner per shard.
+    seen: Vec<Interner>,
+    /// The states discovered in the previous level, next to expand.
+    frontier: Vec<PackedState>,
+    /// Running maximum span.
+    worst: u64,
+    stats: SearchStats,
+}
+
+impl Search {
+    fn new(
+        params: Params,
+        policy: SearchPolicy,
+        max_states: usize,
+        run: &crate::RunConfig,
+    ) -> Result<Search, SearchError> {
+        let m = params.m();
+        let limit = 4 * m * (params.log_n() as u64 + 2);
+        if limit > u16::MAX as u64 {
+            return Err(SearchError::EncodingOverflow { limit });
+        }
+        // Sizes: the P2 discipline.
+        let sizes: Vec<u64> = (0..=params.log_n()).map(|k| 1u64 << k).collect();
+        let has_rover = policy.has_rover();
+
+        // Stable shard assignment from the precomputed hash: the
+        // partition must not depend on any per-process randomness, so
+        // the shard sizes behave identically from run to run. The
+        // interner's index consumes the hash's high bits, so using the
+        // low bits here is independent.
+        let shards = run.threads.clamp(1, 64);
+        let mut seen: Vec<Interner> = (0..shards).map(|_| Interner::new()).collect();
+        let root = SCRATCH.with(|scratch| {
+            let scratch = &mut scratch.borrow_mut().words;
+            PackedState::encode(&[], has_rover.then_some(0), scratch)
+        });
+        seen[(root.hash64() % shards as u64) as usize].insert(&root);
+        Ok(Search {
+            policy,
+            m,
+            limit,
+            sizes,
+            has_rover,
+            threads: run.threads,
+            shards,
+            max_states,
+            seen,
+            frontier: vec![root],
+            worst: 0,
+            stats: SearchStats {
+                levels: 0,
+                peak_frontier: 1,
+                payload_words: 0,
+                resident_bytes: 0,
+            },
+        })
+    }
+
+    fn shard_of(&self, state: &PackedState) -> usize {
+        (state.hash64() % self.shards as u64) as usize
+    }
+
+    fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Pure successor function: span of the state plus every state one
+    /// allocation or one free away, encoded directly from the decoded
+    /// parent through this worker's scratch buffers. Safe to evaluate
+    /// from any thread.
+    fn expand(&self, state: &PackedState) -> Result<(u64, Vec<PackedState>), SearchError> {
         SCRATCH.with(|scratch| {
             let scratch = &mut *scratch.borrow_mut();
             let rover = state
-                .decode_into(&mut scratch.intervals, has_rover)
+                .decode_into(&mut scratch.intervals, self.has_rover)
                 .unwrap_or(0);
             let occ = &scratch.intervals;
             let live: u64 = occ.iter().map(|&(_, l)| l).sum();
             let span = occ.last().map(|&(s, l)| s + l).unwrap_or(0);
-            if span >= limit {
-                return Err(SearchError::AddressCapReached { limit });
+            if span >= self.limit {
+                return Err(SearchError::AddressCapReached { limit: self.limit });
             }
-            let mut succ = Vec::with_capacity(sizes.len() + occ.len());
+            let mut succ = Vec::with_capacity(self.sizes.len() + occ.len());
             // Allocate any P2 size that fits under M.
-            for &size in &sizes {
-                if live + size > m {
+            for &size in &self.sizes {
+                if live + size > self.m {
                     continue;
                 }
-                let addr = policy.place(occ, rover, size);
+                let addr = self.policy.place(occ, rover, size);
                 let pos = occ.partition_point(|&(s, _)| s < addr);
-                let next_rover = has_rover.then_some(addr + size);
+                let next_rover = self.has_rover.then_some(addr + size);
                 succ.push(PackedState::encode_splice(
                     occ,
                     pos,
@@ -355,7 +504,7 @@ pub fn try_worst_case_with(
             // scanning from its end, so the clamp is a canonicalization
             // that keeps the state space tight.
             for i in 0..occ.len() {
-                let next_rover = has_rover.then(|| {
+                let next_rover = self.has_rover.then(|| {
                     let last = if i == occ.len() - 1 {
                         occ.len().checked_sub(2).map(|j| occ[j])
                     } else {
@@ -373,40 +522,43 @@ pub fn try_worst_case_with(
             }
             Ok((span, succ))
         })
-    };
+    }
 
-    while !frontier.is_empty() {
+    /// Expands one BFS level: the body of the original search loop.
+    fn step(&mut self) -> Result<(), SearchError> {
         // One span per BFS level: a trace of the search shows the level
         // widths growing and the dedup fan-out taking over.
         let _level_span = pcb_telemetry::span!("exhaustive.level");
-        stats.levels += 1;
-        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
-        pcb_telemetry::record_max("exhaustive.frontier_states", frontier.len() as u64);
+        self.stats.levels += 1;
+        self.stats.peak_frontier = self.stats.peak_frontier.max(self.frontier.len());
+        pcb_telemetry::record_max("exhaustive.frontier_states", self.frontier.len() as u64);
+        let frontier = std::mem::take(&mut self.frontier);
         // Level-synchronous expansion: fan the frontier across threads.
         let expanded: Vec<Result<(u64, Vec<PackedState>), SearchError>> =
             if frontier.len() >= PAR_LEVEL {
-                parallel::par_map_threads(run.threads, &frontier, |state| expand(state))
+                parallel::par_map_threads(self.threads, &frontier, |state| self.expand(state))
             } else {
-                frontier.iter().map(&expand).collect()
+                frontier.iter().map(|state| self.expand(state)).collect()
             };
 
         // Route successors to their dedup shard. Each shard is owned by
         // exactly one worker below, so insertion needs no locks.
-        let mut by_shard: Vec<Vec<PackedState>> = vec![Vec::new(); shards];
+        let mut by_shard: Vec<Vec<PackedState>> = vec![Vec::new(); self.shards];
         for result in expanded {
             let (span, succ) = result?;
-            worst = worst.max(span);
+            self.worst = self.worst.max(span);
             for next in succ {
-                by_shard[shard_of(&next)].push(next);
+                by_shard[self.shard_of(&next)].push(next);
             }
         }
 
         let total_succ: usize = by_shard.iter().map(Vec::len).sum();
         let _dedup_span = pcb_telemetry::span!("exhaustive.dedup");
-        frontier = if shards > 1 && total_succ >= PAR_LEVEL {
-            let mut fresh_by_shard: Vec<Vec<PackedState>> = Vec::with_capacity(shards);
+        self.frontier = if self.shards > 1 && total_succ >= PAR_LEVEL {
+            let mut fresh_by_shard: Vec<Vec<PackedState>> = Vec::with_capacity(self.shards);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = seen
+                let handles: Vec<_> = self
+                    .seen
                     .iter_mut()
                     .zip(by_shard)
                     .map(|(shard, bucket)| {
@@ -431,7 +583,7 @@ pub fn try_worst_case_with(
             fresh_by_shard.into_iter().flatten().collect()
         } else {
             let mut fresh = Vec::with_capacity(total_succ);
-            for (shard, bucket) in seen.iter_mut().zip(by_shard) {
+            for (shard, bucket) in self.seen.iter_mut().zip(by_shard) {
                 for next in bucket {
                     if shard.insert(&next) {
                         fresh.push(next);
@@ -441,26 +593,32 @@ pub fn try_worst_case_with(
             fresh
         };
 
-        let states: usize = seen.iter().map(Interner::len).sum();
+        let states: usize = self.seen.iter().map(Interner::len).sum();
         pcb_telemetry::record_max("exhaustive.interned_states", states as u64);
         pcb_telemetry::record_max(
             "exhaustive.resident_bytes",
-            seen.iter().map(Interner::resident_bytes).sum(),
+            self.seen.iter().map(Interner::resident_bytes).sum(),
         );
-        if states > max_states {
-            return Err(SearchError::StateSpaceExceeded { states, max_states });
+        if states > self.max_states {
+            return Err(SearchError::StateSpaceExceeded {
+                states,
+                max_states: self.max_states,
+            });
         }
+        Ok(())
     }
 
-    stats.payload_words = seen.iter().map(Interner::payload_words).sum();
-    stats.resident_bytes = seen.iter().map(Interner::resident_bytes).sum();
-    Ok(SearchReport {
-        worst: WorstCase {
-            heap_size: worst,
-            states: seen.iter().map(Interner::len).sum(),
-        },
-        stats,
-    })
+    fn into_report(mut self) -> SearchReport {
+        self.stats.payload_words = self.seen.iter().map(Interner::payload_words).sum();
+        self.stats.resident_bytes = self.seen.iter().map(Interner::resident_bytes).sum();
+        SearchReport {
+            worst: WorstCase {
+                heap_size: self.worst,
+                states: self.seen.iter().map(Interner::len).sum(),
+            },
+            stats: self.stats,
+        }
+    }
 }
 
 /// Panicking convenience wrapper around [`try_worst_case`], for tests and
@@ -591,6 +749,95 @@ mod tests {
                 .expect("toy");
             assert_eq!(report.worst, baseline, "threads={threads}");
         }
+    }
+
+    fn temp_checkpoint(name: &str) -> CheckpointOptions {
+        CheckpointOptions::new(
+            std::env::temp_dir().join(format!("pcb-search-{}-{name}.json", std::process::id())),
+        )
+    }
+
+    #[test]
+    fn paused_and_resumed_search_certifies_the_same_worst_case() {
+        // The rover policy has the richest state space of the toys; use
+        // it so re-sharding on resume is actually exercised.
+        let params = toy(6, 1);
+        let full = try_worst_case(params, SearchPolicy::NextFit, 3_000_000).expect("toy");
+
+        let opts = temp_checkpoint("pause-resume").every(2).stop_after(4);
+        match try_worst_case_resumable(
+            params,
+            SearchPolicy::NextFit,
+            3_000_000,
+            &crate::RunConfig::default(),
+            &opts,
+        )
+        .expect("pause")
+        {
+            SearchOutcome::Paused { levels_done } => assert_eq!(levels_done, 4),
+            SearchOutcome::Complete(_) => panic!("stop_after must pause"),
+        }
+        // Resume under a different thread count: the seen-set re-shards.
+        let resumed = match try_worst_case_resumable(
+            params,
+            SearchPolicy::NextFit,
+            3_000_000,
+            &crate::RunConfig::default().with_threads(4),
+            &CheckpointOptions::new(opts.path.clone()).resume(true),
+        )
+        .expect("resume")
+        {
+            SearchOutcome::Complete(report) => report,
+            SearchOutcome::Paused { .. } => panic!("resume must complete"),
+        };
+        assert_eq!(resumed.worst, full.worst);
+        assert_eq!(resumed.stats.levels, full.stats.levels);
+        assert_eq!(resumed.stats.peak_frontier, full.stats.peak_frontier);
+        assert_eq!(resumed.stats.payload_words, full.stats.payload_words);
+        // resident_bytes is capacity history, not a result — not compared.
+
+        // Resuming the finished search re-emits the report without
+        // expanding anything (the saved frontier is empty).
+        let again = match try_worst_case_resumable(
+            params,
+            SearchPolicy::NextFit,
+            3_000_000,
+            &crate::RunConfig::default(),
+            &CheckpointOptions::new(opts.path.clone()).resume(true),
+        )
+        .expect("re-resume")
+        {
+            SearchOutcome::Complete(report) => report,
+            SearchOutcome::Paused { .. } => panic!("finished search must complete"),
+        };
+        assert_eq!(again.worst, full.worst);
+        std::fs::remove_file(&opts.path).ok();
+    }
+
+    #[test]
+    fn search_checkpoints_from_a_different_search_are_rejected() {
+        let params = toy(6, 1);
+        let opts = temp_checkpoint("mismatch").stop_after(2);
+        try_worst_case_resumable(
+            params,
+            SearchPolicy::FirstFit,
+            3_000_000,
+            &crate::RunConfig::default(),
+            &opts,
+        )
+        .expect("pause");
+        // Same file, different policy: the fingerprint must refuse it.
+        let err = try_worst_case_resumable(
+            params,
+            SearchPolicy::BestFit,
+            3_000_000,
+            &crate::RunConfig::default(),
+            &CheckpointOptions::new(opts.path.clone()).resume(true),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResumeError::Checkpoint(_)), "{err}");
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+        std::fs::remove_file(&opts.path).ok();
     }
 
     #[test]

@@ -235,6 +235,13 @@ impl PackedState {
     pub fn hash_payload(payload: &[u16]) -> u64 {
         mix(payload.iter().fold(FX_SEED, |h, &w| fx_fold(h, w as u64)))
     }
+
+    /// Reconstructs a state from a raw payload (as returned by
+    /// [`payload`](Self::payload) or stored in an interner arena),
+    /// recomputing the hash — the checkpoint/restore path.
+    pub fn from_payload(payload: &[u16]) -> PackedState {
+        Self::from_scratch(payload, Self::hash_payload(payload))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,427 @@
+//! Fleet checkpoint/resume: shard-granularity snapshots in pcb-json.
+//!
+//! A fleet run is a fold over shards in a fixed order, so the complete
+//! state of a partially-finished run is tiny: the merged
+//! [`FleetAccumulator`], the accumulated resident-bytes figure, and how
+//! many shards have been folded. `save` serializes exactly that —
+//! plus a format version and a **fingerprint** of every input that
+//! shapes the result — after each chunk; `load` refuses checkpoints
+//! from any other configuration, so a resumed run is guaranteed to
+//! produce a report byte-identical to an uninterrupted one.
+//!
+//! The fingerprint deliberately excludes the thread count: shard
+//! boundaries and merge order are pure functions of the configuration,
+//! so a run checkpointed under `--threads 8` may be resumed under
+//! `--threads 1` (or vice versa) without changing a byte of the output.
+//!
+//! Writes are atomic (temp file + rename), so a run killed mid-save
+//! leaves the previous checkpoint intact.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pcb_json::{Json, ToJson};
+
+use super::{
+    FailureCause, FleetAccumulator, FleetConfig, FleetError, FleetReport, TenantFailure, HEAT_COLS,
+    MAX_FAILURE_RECORDS, WASTE_BUCKETS,
+};
+use crate::config::RunConfig;
+
+/// Version stamp embedded in every checkpoint; bumped whenever the
+/// serialized layout changes incompatibly.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// How a checkpointed fleet run behaves.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Where the checkpoint file lives.
+    pub path: PathBuf,
+    /// Save after every this many shards (values < 1 behave as 1).
+    pub every: usize,
+    /// Continue from an existing checkpoint instead of starting over.
+    pub resume: bool,
+    /// Stop (with [`FleetOutcome::Paused`]) after this many shards —
+    /// the deterministic stand-in for "the process was killed here",
+    /// used by the kill/resume tests and CI gate.
+    pub stop_after: Option<usize>,
+}
+
+impl CheckpointOptions {
+    /// Options with the default cadence (every 16 shards), no resume.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            path: path.into(),
+            every: 16,
+            resume: false,
+            stop_after: None,
+        }
+    }
+
+    /// Overrides the checkpoint cadence.
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Sets the resume flag.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Stops after `shards` shards.
+    pub fn stop_after(mut self, shards: usize) -> Self {
+        self.stop_after = Some(shards);
+        self
+    }
+}
+
+/// The result of a checkpointed fleet run.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one per run; the report is the point
+pub enum FleetOutcome {
+    /// Every shard ran; the aggregate report.
+    Complete(FleetReport),
+    /// The run stopped at `stop_after` with a checkpoint on disk;
+    /// resume to continue.
+    Paused {
+        /// Shards folded into the checkpoint so far.
+        shards_done: usize,
+        /// Total shards the full run will fold.
+        shards_total: usize,
+    },
+}
+
+/// A checkpoint restored by [`load`], ready to continue the fold.
+pub(crate) struct ResumeState {
+    pub shards_done: usize,
+    pub resident: u64,
+    pub accumulator: FleetAccumulator,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes a checkpoint's configuration description string (shared with
+/// the exhaustive search's checkpoint).
+pub(crate) fn hash_desc(desc: &str) -> u64 {
+    desc.bytes()
+        .fold(0x5bf0_3635_06e6_cedf, |h, b| splitmix64(h ^ u64::from(b)))
+}
+
+/// Hash of every input that shapes the fleet result. The thread count
+/// is deliberately excluded (see the module docs).
+pub(crate) fn fingerprint(cfg: &FleetConfig, run: &RunConfig) -> u64 {
+    hash_desc(&format!(
+        "{}|{}|{}|{:?}|{}|{}|{}",
+        cfg.tenants, cfg.shards, cfg.manager, cfg.mixer, run.substrate, run.chaos, run.paranoia
+    ))
+}
+
+/// Serializes the current fold state to `opts.path`, atomically.
+pub(crate) fn save(
+    cfg: &FleetConfig,
+    run: &RunConfig,
+    opts: &CheckpointOptions,
+    shards_total: usize,
+    shards_done: usize,
+    resident: u64,
+    acc: &FleetAccumulator,
+) -> Result<(), FleetError> {
+    let json = Json::object([
+        ("format_version", Json::from(FORMAT_VERSION)),
+        ("kind", Json::from("fleet")),
+        ("fingerprint", Json::from(fingerprint(cfg, run))),
+        ("shards_done", Json::from(shards_done)),
+        ("shards_total", Json::from(shards_total)),
+        ("resident", Json::from(resident)),
+        ("accumulator", accumulator_to_json(acc)),
+    ]);
+    write_atomic(&opts.path, &format!("{json}\n"))
+        .map_err(|e| FleetError::Checkpoint(format!("writing {}: {e}", opts.path.display())))
+}
+
+/// Writes via a sibling temp file and rename, so an interrupted save
+/// never corrupts the previous checkpoint.
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "checkpoint".into());
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads and validates a checkpoint for this exact `(cfg, run)` pair.
+pub(crate) fn load(
+    cfg: &FleetConfig,
+    run: &RunConfig,
+    opts: &CheckpointOptions,
+    shards_total: usize,
+    kinds: usize,
+    size_buckets: usize,
+) -> Result<ResumeState, FleetError> {
+    let path = &opts.path;
+    let fail = |msg: String| FleetError::Checkpoint(format!("{}: {msg}", path.display()));
+    let text = fs::read_to_string(path).map_err(|e| fail(format!("cannot read: {e}")))?;
+    let json = Json::parse(&text).map_err(|e| fail(format!("invalid JSON: {e}")))?;
+
+    let version = json.get("format_version").and_then(Json::as_u64);
+    if version != Some(FORMAT_VERSION) {
+        return Err(fail(format!(
+            "format version {version:?} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    if json.get("kind").and_then(Json::as_str) != Some("fleet") {
+        return Err(fail("not a fleet checkpoint".into()));
+    }
+    let stamped = json.get("fingerprint").and_then(Json::as_u64);
+    if stamped != Some(fingerprint(cfg, run)) {
+        return Err(fail(
+            "fingerprint mismatch: checkpoint belongs to a different \
+             fleet configuration (tenants/shards/manager/mixer/substrate/chaos/paranoia)"
+                .into(),
+        ));
+    }
+    let shards_done = json
+        .get("shards_done")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| fail("missing shards_done".into()))? as usize;
+    let total = json
+        .get("shards_total")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| fail("missing shards_total".into()))? as usize;
+    if total != shards_total || shards_done > total {
+        return Err(fail(format!(
+            "shard topology mismatch: checkpoint has {shards_done}/{total}, run expects {shards_total}"
+        )));
+    }
+    let resident = json
+        .get("resident")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| fail("missing resident".into()))?;
+    let acc = json
+        .get("accumulator")
+        .ok_or_else(|| fail("missing accumulator".into()))?;
+    let accumulator = accumulator_from_json(acc, kinds, size_buckets).map_err(fail)?;
+    Ok(ResumeState {
+        shards_done,
+        resident,
+        accumulator,
+    })
+}
+
+fn accumulator_to_json(acc: &FleetAccumulator) -> Json {
+    Json::object([
+        ("tenants", Json::from(acc.tenants)),
+        (
+            "waste_hist",
+            Json::array(acc.waste_hist.iter().map(|&c| Json::from(c))),
+        ),
+        ("waste_sum", Json::from(acc.waste_sum)),
+        // NEG_INFINITY (no tenant recorded yet) serializes as `null`.
+        ("max_waste", Json::from(acc.max_waste)),
+        ("max_tenant", Json::from(acc.max_tenant)),
+        (
+            "kind_counts",
+            Json::array(acc.kind_counts.iter().map(|&c| Json::from(c))),
+        ),
+        (
+            "kind_waste_sum",
+            Json::array(acc.kind_waste_sum.iter().map(|&s| Json::from(s))),
+        ),
+        ("heat", Json::array(acc.heat.iter().map(|&c| Json::from(c)))),
+        ("objects_placed", Json::from(acc.objects_placed)),
+        ("words_placed", Json::from(acc.words_placed)),
+        ("words_moved", Json::from(acc.words_moved)),
+        ("failed_tenants", Json::from(acc.failed_tenants)),
+        ("panics", Json::from(acc.panics)),
+        ("engine_failures", Json::from(acc.engine_failures)),
+        (
+            "failures",
+            Json::array(acc.failures.iter().map(ToJson::to_json)),
+        ),
+    ])
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn f64_field(json: &Json, key: &str) -> Result<f64, String> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+fn u64_vec(json: &Json, key: &str, len: usize) -> Result<Vec<u64>, String> {
+    let items = json
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing array `{key}`"))?;
+    if items.len() != len {
+        return Err(format!(
+            "array `{key}` has {} entries, expected {len}",
+            items.len()
+        ));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| format!("non-integer entry in `{key}`"))
+        })
+        .collect()
+}
+
+fn f64_vec(json: &Json, key: &str, len: usize) -> Result<Vec<f64>, String> {
+    let items = json
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing array `{key}`"))?;
+    if items.len() != len {
+        return Err(format!(
+            "array `{key}` has {} entries, expected {len}",
+            items.len()
+        ));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| format!("non-numeric entry in `{key}`"))
+        })
+        .collect()
+}
+
+fn accumulator_from_json(
+    json: &Json,
+    kinds: usize,
+    size_buckets: usize,
+) -> Result<FleetAccumulator, String> {
+    let failures_json = json
+        .get("failures")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing array `failures`".to_string())?;
+    if failures_json.len() > MAX_FAILURE_RECORDS {
+        return Err(format!(
+            "{} failure records exceed the cap of {MAX_FAILURE_RECORDS}",
+            failures_json.len()
+        ));
+    }
+    let mut failures = Vec::with_capacity(failures_json.len());
+    for entry in failures_json {
+        let detail = entry
+            .get("detail")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "failure record missing `detail`".to_string())?
+            .to_string();
+        let cause = match entry.get("cause").and_then(Json::as_str) {
+            Some("panic") => FailureCause::Panic(detail),
+            Some("engine") => FailureCause::Engine(detail),
+            other => return Err(format!("unknown failure cause {other:?}")),
+        };
+        failures.push(TenantFailure {
+            tenant: u64_field(entry, "tenant")?,
+            family: entry
+                .get("family")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "failure record missing `family`".to_string())?
+                .to_string(),
+            cause,
+        });
+    }
+    Ok(FleetAccumulator {
+        tenants: u64_field(json, "tenants")?,
+        waste_hist: u64_vec(json, "waste_hist", WASTE_BUCKETS)?,
+        waste_sum: f64_field(json, "waste_sum")?,
+        // `null` (serialized NEG_INFINITY) means no tenant recorded yet.
+        max_waste: json
+            .get("max_waste")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NEG_INFINITY),
+        max_tenant: u64_field(json, "max_tenant")?,
+        kind_counts: u64_vec(json, "kind_counts", kinds)?,
+        kind_waste_sum: f64_vec(json, "kind_waste_sum", kinds)?,
+        heat: u64_vec(json, "heat", size_buckets * HEAT_COLS)?,
+        objects_placed: u64_field(json, "objects_placed")?,
+        words_placed: u64_field(json, "words_placed")?,
+        words_moved: u64_field(json, "words_moved")?,
+        failed_tenants: u64_field(json, "failed_tenants")?,
+        panics: u64_field(json, "panics")?,
+        engine_failures: u64_field(json, "engine_failures")?,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_tracks_every_shaping_input_but_not_threads() {
+        let cfg = FleetConfig::default();
+        let run = RunConfig::default();
+        let base = fingerprint(&cfg, &run);
+        assert_eq!(
+            base,
+            fingerprint(&cfg, &run.with_threads(8)),
+            "threads excluded"
+        );
+        let mut other = cfg;
+        other.tenants += 1;
+        assert_ne!(base, fingerprint(&other, &run));
+        assert_ne!(base, fingerprint(&cfg, &run.with_paranoia(4)));
+        // A plan with a seed but no rates injects nothing — it is the
+        // empty plan behaviorally, so it must fingerprint identically.
+        assert_eq!(
+            base,
+            fingerprint(&cfg, &run.with_chaos(pcb_chaos::FaultPlan::new(1)))
+        );
+        let armed = pcb_chaos::FaultPlan::new(1).with_rate(pcb_chaos::FaultSite::TenantPanic, 50);
+        assert_ne!(base, fingerprint(&cfg, &run.with_chaos(armed)));
+    }
+
+    #[test]
+    fn accumulator_round_trips_through_json_exactly() {
+        let mut acc = FleetAccumulator::new(3, 4);
+        acc.tenants = 17;
+        acc.waste_hist[5] = 9;
+        acc.waste_sum = 23.0625;
+        acc.max_waste = 1.734_002_3;
+        acc.max_tenant = 11;
+        acc.kind_counts[2] = 17;
+        acc.kind_waste_sum[2] = 23.0625;
+        acc.heat[7] = 4;
+        acc.objects_placed = 1234;
+        acc.words_placed = 99_999;
+        acc.words_moved = 42;
+        acc.record_failure(3, "churn", FailureCause::Panic("boom".into()));
+        let json = accumulator_to_json(&acc);
+        let back = accumulator_from_json(&json, 3, 4).expect("round trip");
+        assert_eq!(back.tenants, acc.tenants);
+        assert_eq!(back.waste_hist, acc.waste_hist);
+        assert_eq!(back.waste_sum.to_bits(), acc.waste_sum.to_bits());
+        assert_eq!(back.max_waste.to_bits(), acc.max_waste.to_bits());
+        assert_eq!(back.kind_waste_sum, acc.kind_waste_sum);
+        assert_eq!(back.failures, acc.failures);
+    }
+
+    #[test]
+    fn empty_accumulator_neg_infinity_max_survives_the_null_round_trip() {
+        let acc = FleetAccumulator::new(1, 1);
+        let text = accumulator_to_json(&acc).to_string();
+        assert!(text.contains("\"max_waste\":null"), "{text}");
+        let back = accumulator_from_json(&Json::parse(&text).unwrap(), 1, 1).expect("round trip");
+        assert_eq!(back.max_waste, f64::NEG_INFINITY);
+    }
+}

@@ -22,19 +22,44 @@
 //!   materialize any tenant without coordination.
 //!
 //! The aggregate [`FleetReport`] carries the fleet-wide p50/p99/max
-//! waste factor, per-family breakdowns, and a size-bucket × waste
-//! heat-map rollup.
+//! waste factor, per-family breakdowns, a size-bucket × waste heat-map
+//! rollup, and — under fault injection — the quarantined
+//! [`TenantFailure`]s.
+//!
+//! # Fault isolation
+//!
+//! Every tenant executes behind a `catch_unwind` barrier: a panicking
+//! tenant program (including one poisoned by the chaos `tenant-panic`
+//! fault) or a typed engine failure is folded into the aggregate as a
+//! [`TenantFailure`] instead of killing the shard. Failure counts are
+//! exact; the retained failure records are capped so the aggregation
+//! state stays O(shards). Because the panic site and round are pure
+//! functions of `(chaos seed, tenant index)`, the failure section is
+//! byte-identical for any thread count and substrate.
+//!
+//! # Checkpoint/resume
+//!
+//! [`run_checkpointed`] processes shards in chunks and serializes the
+//! merged accumulator to a pcb-json checkpoint after each chunk (see
+//! [`checkpoint`]); a resumed run continues from the last completed
+//! chunk and produces a byte-identical report.
 
 use core::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use pcb_alloc::ManagerKind;
-use pcb_heap::{Execution, ExecutionError, Heap, HeapSummary};
+use pcb_chaos::FaultSite;
+use pcb_heap::{Execution, ExecutionError, Heap, HeapSummary, Program};
 use pcb_json::{Json, ToJson};
-use pcb_workload::{MixerConfig, TenantSpec, WorkloadMixer};
+use pcb_workload::{MixerConfig, PanicProgram, TenantSpec, WorkloadMixer};
 
 use crate::config::RunConfig;
 use crate::parallel;
 use crate::params::Params;
+
+pub mod checkpoint;
+
+pub use checkpoint::{CheckpointOptions, FleetOutcome};
 
 /// Waste-factor histogram buckets: 256 buckets of width 1/32 covering
 /// `[0, 8)`; the last bucket absorbs everything above.
@@ -79,13 +104,18 @@ pub enum FleetError {
     /// The configuration is degenerate (zero tenants, bad mixer, invalid
     /// per-tenant parameters).
     Config(String),
-    /// One tenant's execution failed.
+    /// One tenant's execution failed. Since fault isolation landed, a
+    /// failing tenant is quarantined as a [`TenantFailure`] instead, so
+    /// `run` no longer returns this; it remains for callers that drive
+    /// `run_tenant`-level APIs directly.
     Execution {
         /// The failing tenant's index.
         tenant: u64,
         /// The underlying engine error.
         error: ExecutionError,
     },
+    /// A checkpoint could not be written, read, or did not match the run.
+    Checkpoint(String),
 }
 
 impl fmt::Display for FleetError {
@@ -95,6 +125,7 @@ impl fmt::Display for FleetError {
             FleetError::Execution { tenant, error } => {
                 write!(f, "tenant {tenant} failed: {error}")
             }
+            FleetError::Checkpoint(msg) => write!(f, "fleet checkpoint error: {msg}"),
         }
     }
 }
@@ -103,8 +134,67 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Execution { error, .. } => Some(error),
-            FleetError::Config(_) => None,
+            FleetError::Config(_) | FleetError::Checkpoint(_) => None,
         }
+    }
+}
+
+/// Retained failure records are capped at this many (counts stay exact),
+/// so a high-fault-rate fleet cannot grow the aggregation state beyond
+/// O(shards).
+pub const MAX_FAILURE_RECORDS: usize = 32;
+
+/// Injected panic messages and engine errors are truncated to this many
+/// characters in a retained record.
+const MAX_FAILURE_DETAIL: usize = 160;
+
+/// Why a quarantined tenant failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The tenant's program or manager panicked; carries the (truncated)
+    /// panic message.
+    Panic(String),
+    /// The engine returned a typed [`ExecutionError`]; carries its
+    /// (truncated) rendering.
+    Engine(String),
+}
+
+impl FailureCause {
+    /// Stable class name: `"panic"` or `"engine"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureCause::Panic(_) => "panic",
+            FailureCause::Engine(_) => "engine",
+        }
+    }
+
+    /// The captured detail message.
+    pub fn detail(&self) -> &str {
+        match self {
+            FailureCause::Panic(msg) | FailureCause::Engine(msg) => msg,
+        }
+    }
+}
+
+/// One quarantined tenant failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantFailure {
+    /// The failing tenant's index.
+    pub tenant: u64,
+    /// The tenant's workload family name.
+    pub family: String,
+    /// What happened.
+    pub cause: FailureCause,
+}
+
+impl ToJson for TenantFailure {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("cause", Json::from(self.cause.name())),
+            ("detail", Json::from(self.cause.detail())),
+            ("family", Json::from(self.family.as_str())),
+            ("tenant", Json::from(self.tenant)),
+        ])
     }
 }
 
@@ -136,6 +226,14 @@ pub struct FleetAccumulator {
     pub words_placed: u64,
     /// Total words moved (compaction work) across the fleet.
     pub words_moved: u64,
+    /// Tenants that failed and were quarantined (exact count).
+    pub failed_tenants: u64,
+    /// Quarantined failures that were panics (exact count).
+    pub panics: u64,
+    /// Quarantined failures that were typed engine errors (exact count).
+    pub engine_failures: u64,
+    /// The first [`MAX_FAILURE_RECORDS`] failures in tenant order.
+    pub failures: Vec<TenantFailure>,
 }
 
 impl FleetAccumulator {
@@ -152,6 +250,10 @@ impl FleetAccumulator {
             objects_placed: 0,
             words_placed: 0,
             words_moved: 0,
+            failed_tenants: 0,
+            panics: 0,
+            engine_failures: 0,
+            failures: Vec::new(),
         }
     }
 
@@ -175,6 +277,25 @@ impl FleetAccumulator {
         self.objects_placed += summary.objects_placed;
         self.words_placed += summary.words_placed;
         self.words_moved += summary.words_moved;
+    }
+
+    /// Quarantines one tenant failure. Counts are always exact; the
+    /// record itself is retained only while the cap has room, which —
+    /// with tenants recorded in index order and shards merged in range
+    /// order — keeps exactly the lowest-index failures.
+    fn record_failure(&mut self, tenant: u64, family: &str, cause: FailureCause) {
+        self.failed_tenants += 1;
+        match cause {
+            FailureCause::Panic(_) => self.panics += 1,
+            FailureCause::Engine(_) => self.engine_failures += 1,
+        }
+        if self.failures.len() < MAX_FAILURE_RECORDS {
+            self.failures.push(TenantFailure {
+                tenant,
+                family: family.to_string(),
+                cause,
+            });
+        }
     }
 
     /// Merges a later shard's accumulator into this one. Shards must be
@@ -202,6 +323,15 @@ impl FleetAccumulator {
         self.objects_placed += other.objects_placed;
         self.words_placed += other.words_placed;
         self.words_moved += other.words_moved;
+        self.failed_tenants += other.failed_tenants;
+        self.panics += other.panics;
+        self.engine_failures += other.engine_failures;
+        for failure in &other.failures {
+            if self.failures.len() >= MAX_FAILURE_RECORDS {
+                break;
+            }
+            self.failures.push(failure.clone());
+        }
     }
 
     /// The lower edge of the histogram bucket holding the `p`-quantile
@@ -338,6 +468,13 @@ impl ToJson for FleetReport {
                 "waste_hist",
                 Json::array(acc.waste_hist.iter().map(|&c| Json::from(c))),
             ),
+            ("failed_tenants", Json::from(acc.failed_tenants)),
+            ("panics", Json::from(acc.panics)),
+            ("engine_failures", Json::from(acc.engine_failures)),
+            (
+                "failures",
+                Json::array(acc.failures.iter().map(ToJson::to_json)),
+            ),
         ])
     }
 }
@@ -370,6 +507,35 @@ impl fmt::Display for FleetReport {
             self.accumulator.words_placed,
             self.accumulator.words_moved
         )?;
+        // Fault-free fleets print exactly as they always did; the
+        // quarantine section appears only when something failed.
+        if self.accumulator.failed_tenants > 0 {
+            writeln!(
+                f,
+                "failures: {} tenants quarantined ({} panic, {} engine)",
+                self.accumulator.failed_tenants,
+                self.accumulator.panics,
+                self.accumulator.engine_failures
+            )?;
+            for failure in self.accumulator.failures.iter().take(5) {
+                writeln!(
+                    f,
+                    "  tenant {:>9} [{}] {}: {}",
+                    failure.tenant,
+                    failure.family,
+                    failure.cause.name(),
+                    failure.cause.detail()
+                )?;
+            }
+            if self.accumulator.failed_tenants > 5 {
+                writeln!(
+                    f,
+                    "  ... ({} more; first {} retained in the report)",
+                    self.accumulator.failed_tenants - 5,
+                    self.accumulator.failures.len()
+                )?;
+            }
+        }
         writeln!(
             f,
             "aggregation state: {} bytes across {} shards",
@@ -379,17 +545,47 @@ impl fmt::Display for FleetReport {
     }
 }
 
-/// Runs one tenant end to end and returns its summary.
+/// Renders a caught panic payload, truncated to the retained-record cap.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    };
+    truncate_detail(message)
+}
+
+fn truncate_detail(mut message: String) -> String {
+    if message.chars().count() > MAX_FAILURE_DETAIL {
+        message = message.chars().take(MAX_FAILURE_DETAIL).collect();
+        message.push('…');
+    }
+    message
+}
+
+/// Runs one tenant end to end behind a fault-isolation barrier.
+///
+/// Panics and engine errors come back as a [`FailureCause`] (the caller
+/// quarantines them); only configuration problems — which would affect
+/// every tenant — abort the fleet. When the run's chaos plan fires the
+/// `tenant-panic` site for this index, the tenant's program is wrapped
+/// in a [`PanicProgram`] scheduled from the same deterministic roll, so
+/// a poisoned fleet fails identically for any thread count.
 fn run_tenant(
     mixer: &WorkloadMixer,
     manager: ManagerKind,
     run: &RunConfig,
     index: u64,
-) -> Result<(TenantSpec, HeapSummary), FleetError> {
+) -> Result<(TenantSpec, Result<HeapSummary, FailureCause>), FleetError> {
     let spec = mixer.tenant(index);
     let shape = mixer.shape(&spec);
     let family = mixer.family(&spec);
     let params = Params::new(shape.m, shape.log_n, shape.c)
+        .map_err(|e| FleetError::Config(format!("tenant {index}: {e}")))?;
+    let built = manager
+        .try_build(&params)
         .map_err(|e| FleetError::Config(format!("tenant {index}: {e}")))?;
     let heap = if manager.is_unbounded() {
         Heap::unlimited_compaction()
@@ -399,12 +595,27 @@ fn run_tenant(
         Heap::non_moving()
     }
     .with_substrate(run.substrate);
-    let mut exec = Execution::new(heap, family.instantiate(&shape), manager.build(&params));
-    let summary = exec.run_summary().map_err(|error| FleetError::Execution {
-        tenant: index,
-        error,
-    })?;
-    Ok((spec, summary))
+    let program: Box<dyn Program> = if run.chaos.should_fire(FaultSite::TenantPanic, index) {
+        let rounds = u64::from(mixer.config().rounds.max(1));
+        let panic_round = (run.chaos.roll(FaultSite::TenantPanic, index) % rounds) as u32;
+        Box::new(PanicProgram::new(family.instantiate(&shape), panic_round))
+    } else {
+        family.instantiate(&shape)
+    };
+    let tenant_plan = run.chaos.fork(index);
+    let paranoia = run.paranoia;
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let mut exec = Execution::new(heap, program, built)
+            .with_chaos(tenant_plan)
+            .with_paranoia(paranoia);
+        exec.run_summary()
+    }));
+    let outcome = match outcome {
+        Ok(Ok(summary)) => Ok(summary),
+        Ok(Err(error)) => Err(FailureCause::Engine(truncate_detail(error.to_string()))),
+        Err(payload) => Err(FailureCause::Panic(panic_message(payload.as_ref()))),
+    };
+    Ok((spec, outcome))
 }
 
 /// Simulates the fleet and streams every tenant into the aggregate
@@ -412,9 +623,43 @@ fn run_tenant(
 ///
 /// # Errors
 ///
-/// [`FleetError::Config`] for degenerate configurations,
-/// [`FleetError::Execution`] if any tenant's engine run fails.
+/// [`FleetError::Config`] for degenerate configurations (tenant panics
+/// and engine errors are quarantined into the report, not returned).
 pub fn run(cfg: &FleetConfig, run: &RunConfig) -> Result<FleetReport, FleetError> {
+    match drive(cfg, run, None)? {
+        FleetOutcome::Complete(report) => Ok(report),
+        // Without checkpoint options there is no stop_after, so drive
+        // always processes every shard.
+        FleetOutcome::Paused { .. } => unreachable!("uncheckpointed runs never pause"),
+    }
+}
+
+/// Like [`run`], but saves a resumable checkpoint every
+/// `opts.every` shards and — when `opts.resume` is set — continues from
+/// an existing checkpoint instead of starting over. A run resumed after
+/// an interruption (or after `opts.stop_after`) produces a report
+/// byte-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// [`FleetError::Config`] as for [`run`]; [`FleetError::Checkpoint`] if
+/// the checkpoint cannot be written, parsed, or belongs to a different
+/// fleet configuration.
+pub fn run_checkpointed(
+    cfg: &FleetConfig,
+    run: &RunConfig,
+    opts: &CheckpointOptions,
+) -> Result<FleetOutcome, FleetError> {
+    drive(cfg, run, Some(opts))
+}
+
+/// The single driver behind [`run`] and [`run_checkpointed`]: processes
+/// shards in chunks, checkpointing after each chunk when asked to.
+fn drive(
+    cfg: &FleetConfig,
+    run: &RunConfig,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<FleetOutcome, FleetError> {
     let _span = pcb_telemetry::span!("fleet.run");
     if cfg.tenants == 0 {
         return Err(FleetError::Config("tenants must be >= 1".into()));
@@ -437,25 +682,62 @@ pub fn run(cfg: &FleetConfig, run: &RunConfig) -> Result<FleetReport, FleetError
         })
         .collect();
 
-    let shard_results: Vec<Result<FleetAccumulator, FleetError>> =
-        parallel::par_map_threads(run.threads, &ranges, |&(lo, hi)| {
-            let _span = pcb_telemetry::span!("fleet.shard");
-            let mut acc = FleetAccumulator::new(kinds.len(), size_buckets);
-            for index in lo..hi {
-                let (spec, summary) = run_tenant(&mixer, cfg.manager, run, index)?;
-                acc.record(&spec, &summary);
-            }
-            Ok(acc)
-        });
-
-    // Merge in shard (= tenant-range) order: par_map returns input order,
-    // so this fold is independent of scheduling.
     let mut merged = FleetAccumulator::new(kinds.len(), size_buckets);
     let mut resident = merged.resident_bytes() as u64;
-    for result in shard_results {
-        let acc = result?;
-        resident += acc.resident_bytes() as u64;
-        merged.merge(&acc);
+    let mut done = 0usize;
+
+    if let Some(opts) = ckpt {
+        if opts.resume {
+            let state = checkpoint::load(cfg, run, opts, shards, kinds.len(), size_buckets)?;
+            merged = state.accumulator;
+            resident = state.resident;
+            done = state.shards_done;
+        }
+    }
+
+    // Without checkpointing there is one chunk: all shards at once.
+    let (target, every) = match ckpt {
+        Some(opts) => (
+            opts.stop_after.map_or(shards, |s| s.min(shards)),
+            opts.every.max(1),
+        ),
+        None => (shards, shards),
+    };
+
+    while done < target {
+        let end = (done + every).min(target);
+        let shard_results: Vec<Result<FleetAccumulator, FleetError>> =
+            parallel::par_map_threads(run.threads, &ranges[done..end], |&(lo, hi)| {
+                let _span = pcb_telemetry::span!("fleet.shard");
+                let mut acc = FleetAccumulator::new(kinds.len(), size_buckets);
+                for index in lo..hi {
+                    let (spec, outcome) = run_tenant(&mixer, cfg.manager, run, index)?;
+                    match outcome {
+                        Ok(summary) => acc.record(&spec, &summary),
+                        Err(cause) => acc.record_failure(spec.index, kinds[spec.kind], cause),
+                    }
+                }
+                Ok(acc)
+            });
+
+        // Merge in shard (= tenant-range) order: par_map returns input
+        // order, so this fold is independent of scheduling.
+        for result in shard_results {
+            let acc = result?;
+            resident += acc.resident_bytes() as u64;
+            merged.merge(&acc);
+        }
+        done = end;
+        if let Some(opts) = ckpt {
+            checkpoint::save(cfg, run, opts, shards, done, resident, &merged)?;
+        }
+    }
+
+    if done < shards {
+        return Ok(FleetOutcome::Paused {
+            shards_done: done,
+            shards_total: shards,
+        });
     }
 
     let mean_waste = if merged.tenants == 0 {
@@ -463,8 +745,10 @@ pub fn run(cfg: &FleetConfig, run: &RunConfig) -> Result<FleetReport, FleetError
     } else {
         merged.waste_sum / merged.tenants as f64
     };
-    Ok(FleetReport {
-        tenants: merged.tenants,
+    Ok(FleetOutcome::Complete(FleetReport {
+        // `accumulator.tenants` counts successes; the headline figure is
+        // every tenant attempted, quarantined failures included.
+        tenants: merged.tenants + merged.failed_tenants,
         shards,
         manager: cfg.manager.to_string(),
         kinds,
@@ -476,7 +760,7 @@ pub fn run(cfg: &FleetConfig, run: &RunConfig) -> Result<FleetReport, FleetError
         mean_waste,
         resident_bytes: resident,
         accumulator: merged,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -575,6 +859,134 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, FleetError::Config(_)));
+    }
+
+    #[test]
+    fn injected_panics_are_quarantined_deterministically() {
+        use pcb_chaos::FaultPlan;
+        use pcb_heap::Substrate;
+        // 20% of tenants panic mid-run; the fleet must survive and the
+        // quarantine section must be byte-identical for every thread
+        // count and substrate.
+        let cfg = tiny();
+        let chaos = FaultPlan::new(7).with_rate(FaultSite::TenantPanic, 200_000);
+        let run_cfg = RunConfig::default().with_chaos(chaos);
+        let baseline = run(&cfg, &run_cfg).expect("poisoned fleet still completes");
+        assert!(baseline.accumulator.failed_tenants > 0, "panics fired");
+        assert!(baseline.accumulator.panics == baseline.accumulator.failed_tenants);
+        assert_eq!(
+            baseline.accumulator.tenants + baseline.accumulator.failed_tenants,
+            64,
+            "every tenant is either recorded or quarantined"
+        );
+        assert_eq!(baseline.tenants, 64, "headline count is tenants attempted");
+        for failure in &baseline.accumulator.failures {
+            assert!(matches!(failure.cause, FailureCause::Panic(_)));
+            assert!(
+                failure.cause.detail().contains("injected tenant panic"),
+                "panic message survives: {:?}",
+                failure.cause
+            );
+        }
+        let text = baseline.to_string();
+        assert!(text.contains("quarantined"), "{text}");
+        let expect = pcb_json::ToJson::to_json(&baseline).to_string();
+        for threads in [2, 4] {
+            for substrate in [Substrate::Bitmap, Substrate::Reference] {
+                let report = run(
+                    &cfg,
+                    &run_cfg.with_threads(threads).with_substrate(substrate),
+                )
+                .unwrap();
+                assert_eq!(
+                    pcb_json::ToJson::to_json(&report).to_string(),
+                    expect,
+                    "threads={threads} substrate={substrate}"
+                );
+            }
+        }
+    }
+
+    fn temp_checkpoint(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pcb-fleet-{}-{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_report_byte_for_byte() {
+        use pcb_chaos::FaultPlan;
+        let cfg = tiny();
+        // Fault injection on, so the failure section crosses the
+        // checkpoint boundary too.
+        let chaos = FaultPlan::new(11).with_rate(FaultSite::TenantPanic, 100_000);
+        let run_cfg = RunConfig::default().with_chaos(chaos);
+        let full = pcb_json::ToJson::to_json(&run(&cfg, &run_cfg).unwrap()).to_string();
+
+        let path = temp_checkpoint("kill-resume");
+        // "Kill" the run after 3 of 8 shards...
+        let opts = CheckpointOptions::new(&path).every(2).stop_after(3);
+        match run_checkpointed(&cfg, &run_cfg, &opts).unwrap() {
+            FleetOutcome::Paused {
+                shards_done,
+                shards_total,
+            } => {
+                assert_eq!(shards_done, 3);
+                assert_eq!(shards_total, 8);
+            }
+            FleetOutcome::Complete(_) => panic!("stop_after must pause"),
+        }
+        // ...and resume under a different thread count.
+        let resumed = match run_checkpointed(
+            &cfg,
+            &run_cfg.with_threads(4),
+            &CheckpointOptions::new(&path).every(2).resume(true),
+        )
+        .unwrap()
+        {
+            FleetOutcome::Complete(report) => report,
+            FleetOutcome::Paused { .. } => panic!("resume must complete"),
+        };
+        assert_eq!(
+            pcb_json::ToJson::to_json(&resumed).to_string(),
+            full,
+            "resumed report is byte-identical to the uninterrupted run"
+        );
+        // Resuming a finished run re-emits the identical report without
+        // re-running any shard.
+        let again =
+            match run_checkpointed(&cfg, &run_cfg, &CheckpointOptions::new(&path).resume(true))
+                .unwrap()
+            {
+                FleetOutcome::Complete(report) => report,
+                FleetOutcome::Paused { .. } => panic!("finished run must complete"),
+            };
+        assert_eq!(pcb_json::ToJson::to_json(&again).to_string(), full);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoints_from_a_different_configuration_are_rejected() {
+        let cfg = tiny();
+        let run_cfg = RunConfig::default();
+        let path = temp_checkpoint("fingerprint");
+        let opts = CheckpointOptions::new(&path).every(4).stop_after(4);
+        assert!(matches!(
+            run_checkpointed(&cfg, &run_cfg, &opts).unwrap(),
+            FleetOutcome::Paused { .. }
+        ));
+        let other = FleetConfig { tenants: 65, ..cfg };
+        let err = run_checkpointed(
+            &other,
+            &run_cfg,
+            &CheckpointOptions::new(&path).resume(true),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FleetError::Checkpoint(_)), "{err}");
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+        // A resume pointed at a missing checkpoint is a clean error too.
+        std::fs::remove_file(&path).ok();
+        let err = run_checkpointed(&cfg, &run_cfg, &CheckpointOptions::new(&path).resume(true))
+            .unwrap_err();
+        assert!(matches!(err, FleetError::Checkpoint(_)), "{err}");
     }
 
     #[test]

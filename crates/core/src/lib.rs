@@ -84,6 +84,7 @@ pub use params::{Params, ParamsError};
 
 pub use pcb_adversary as adversary;
 pub use pcb_alloc as alloc;
+pub use pcb_chaos as chaos;
 pub use pcb_heap as heap;
 pub use pcb_telemetry as telemetry;
 pub use pcb_workload as workload;
@@ -91,6 +92,7 @@ pub use pcb_workload as workload;
 // The most-used types, flattened for convenience.
 pub use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
 pub use pcb_alloc::ManagerKind;
+pub use pcb_chaos::{FaultPlan, FaultSite};
 pub use pcb_heap::{
     Execution, Heap, Observer, Observers, Recorder, Report, Size, StatSink, Substrate, TimeSeries,
     TraceWriter,

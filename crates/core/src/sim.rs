@@ -10,6 +10,7 @@ use core::fmt;
 
 use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
 use pcb_alloc::ManagerKind;
+use pcb_chaos::FaultPlan;
 use pcb_heap::{
     Execution, ExecutionError, Heap, MemoryManager, Observer, Observers, Program, StatSink,
     Substrate, TimeSeries,
@@ -149,6 +150,8 @@ pub struct Sim<'a> {
     series_every: Option<u32>,
     stats: bool,
     substrate: Option<Substrate>,
+    chaos: FaultPlan,
+    paranoia: u32,
 }
 
 impl fmt::Debug for Sim<'_> {
@@ -162,6 +165,8 @@ impl fmt::Debug for Sim<'_> {
             .field("series_every", &self.series_every)
             .field("stats", &self.stats)
             .field("substrate", &self.substrate)
+            .field("chaos", &self.chaos)
+            .field("paranoia", &self.paranoia)
             .finish()
     }
 }
@@ -180,6 +185,8 @@ impl<'a> Sim<'a> {
             series_every: None,
             stats: false,
             substrate: None,
+            chaos: FaultPlan::empty(),
+            paranoia: 0,
         }
     }
 
@@ -232,11 +239,27 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Attaches a deterministic fault schedule to the execution. The
+    /// empty plan (the default) injects nothing at zero cost.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Cross-checks the manager's mirror against the space-map referee
+    /// every `every` rounds (0, the default, disables paranoia mode).
+    pub fn paranoia(mut self, every: u32) -> Self {
+        self.paranoia = every;
+        self
+    }
+
     /// Applies a resolved [`RunConfig`](crate::RunConfig): pins the
-    /// substrate (a `Sim` runs on one thread, so the config's thread
-    /// count does not apply here).
+    /// substrate and carries over the chaos/paranoia knobs (a `Sim` runs
+    /// on one thread, so the config's thread count does not apply here).
     pub fn config(self, run: &crate::RunConfig) -> Self {
         self.substrate(run.substrate)
+            .chaos(run.chaos)
+            .paranoia(run.paranoia)
     }
 
     /// Drives an execution to completion, attaching the configured
@@ -279,6 +302,8 @@ impl<'a> Sim<'a> {
             series_every,
             stats,
             substrate,
+            chaos,
+            paranoia,
         } = self;
         let pin = |heap: Heap| match substrate {
             Some(s) => heap.with_substrate(s),
@@ -299,7 +324,9 @@ impl<'a> Sim<'a> {
                 } else {
                     Heap::new(params.c())
                 });
-                let mut exec = Execution::new(heap, PfProgram::new(cfg), manager.build(&params));
+                let mut exec = Execution::new(heap, PfProgram::new(cfg), manager.build(&params))
+                    .with_chaos(chaos)
+                    .with_paranoia(paranoia);
                 if stats {
                     exec = exec.with_stats();
                 }
@@ -341,7 +368,9 @@ impl<'a> Sim<'a> {
                 } else {
                     Heap::non_moving()
                 });
-                let mut exec = Execution::new(heap, program, manager.build(&params));
+                let mut exec = Execution::new(heap, program, manager.build(&params))
+                    .with_chaos(chaos)
+                    .with_paranoia(paranoia);
                 if stats {
                     exec = exec.with_stats();
                 }

@@ -118,6 +118,24 @@ impl CompactionBudget {
         would_move * u128::from(self.c) <= self.allocated_total
     }
 
+    /// Tightens the bound to `new_c` mid-run (a chaos "budget cut").
+    ///
+    /// Only meaningful for a bounded ledger: unlimited (`c = 0`) and
+    /// non-moving (`c = u64::MAX`) ledgers are left untouched, as is a
+    /// ledger whose bound is already at least as tight. The cumulative
+    /// totals are preserved, so the allowance contracts immediately —
+    /// possibly below words already moved, in which case further moves
+    /// stay forbidden until allocations recharge the quota (the ledger
+    /// never owes a retroactive violation). Returns whether the bound
+    /// changed.
+    pub fn tighten(&mut self, new_c: u64) -> bool {
+        if self.is_unlimited() || self.c == u64::MAX || new_c <= 1 || new_c <= self.c {
+            return false;
+        }
+        self.c = new_c;
+        true
+    }
+
     /// Records a move of `size` words.
     ///
     /// # Errors
@@ -229,6 +247,34 @@ mod tests {
         b.on_moved(Size::new(1_000_000)).unwrap();
         assert_eq!(b.moved_total(), 1_000_000);
         assert_eq!(b.allowance(), Size::new(u64::MAX));
+    }
+
+    #[test]
+    fn tighten_contracts_the_allowance() {
+        let mut b = CompactionBudget::new(2);
+        b.on_allocated(Size::new(100));
+        assert_eq!(b.allowance(), Size::new(50));
+        assert!(b.tighten(10), "2 -> 10 is a genuine cut");
+        assert_eq!(b.c(), 10);
+        assert_eq!(b.allowance(), Size::new(10));
+        assert!(!b.tighten(5), "loosening is refused");
+        assert!(!b.tighten(1), "degenerate bounds are refused");
+        assert_eq!(b.c(), 10);
+
+        let mut over = CompactionBudget::new(2);
+        over.on_allocated(Size::new(100));
+        over.on_moved(Size::new(40)).unwrap();
+        over.tighten(10);
+        // Already moved 40 > 100/10: no allowance until recharged, but
+        // the ledger carries no retroactive violation.
+        assert_eq!(over.allowance(), Size::ZERO);
+        assert!(!over.can_move(Size::WORD));
+
+        let mut fixed = CompactionBudget::non_moving();
+        assert!(!fixed.tighten(10), "non-moving is not tightenable");
+        let mut free = CompactionBudget::unlimited();
+        assert!(!free.tighten(10), "unlimited is not tightenable");
+        assert!(free.is_unlimited());
     }
 
     #[test]

@@ -9,12 +9,27 @@
 //! * moves are reported to the program immediately, and the program may
 //!   free moved objects on the spot (the ghost-object discipline of `P_F`).
 
+use pcb_chaos::{splitmix64, FaultPlan, FaultSite};
+
 use crate::error::ExecutionError;
 use crate::event::{Event, Observer, Tick};
 use crate::heap::{Heap, HeapStats};
-use crate::manager::{AllocRequest, HeapOps, MemoryManager};
+use crate::manager::{AllocRequest, HeapOps, MemoryManager, MirrorCheck};
 use crate::program::Program;
 use crate::stats::StatSink;
+
+/// Counts of chaos faults the engine actually injected (not merely
+/// scheduled: a `mirror-flip` decision that found nothing to corrupt,
+/// for example, is not counted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosCounters {
+    /// Allocation requests spuriously refused.
+    pub alloc_refusals: u64,
+    /// Mid-run compaction-budget cuts applied.
+    pub budget_cuts: u64,
+    /// Mirror corruptions planted in the manager.
+    pub mirror_faults: u64,
+}
 
 /// Allocation-free numeric summary of an execution.
 ///
@@ -180,6 +195,19 @@ pub struct Execution<P, M> {
     /// Manager-side counters/histograms; `None` (the default) keeps the
     /// manager's reporting calls free.
     stats: Option<StatSink>,
+    /// Deterministic fault schedule; the default (empty) plan costs one
+    /// array load per decision point.
+    chaos: FaultPlan,
+    /// Cross-check the manager's mirror against the ground truth every
+    /// this many rounds; 0 (the default) disables the check entirely.
+    paranoia: u32,
+    /// Allocation attempts seen so far — the index stream for the
+    /// `alloc-refusal` fault site.
+    alloc_attempts: u64,
+    /// Round at which a mirror fault was planted, if any.
+    mirror_fault_round: Option<u32>,
+    /// Faults injected so far.
+    chaos_counters: ChaosCounters,
 }
 
 impl<P: Program, M: MemoryManager> Execution<P, M> {
@@ -196,7 +224,31 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             tick: 0,
             max_rounds: u32::MAX,
             stats: None,
+            chaos: FaultPlan::empty(),
+            paranoia: 0,
+            alloc_attempts: 0,
+            mirror_fault_round: None,
+            chaos_counters: ChaosCounters::default(),
         }
+    }
+
+    /// Attaches a deterministic fault schedule; returns `self` for
+    /// chaining. The empty plan (the default) injects nothing and adds
+    /// no per-event work beyond one array load per decision point.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Cross-checks the manager's free-space mirror against the
+    /// ground-truth [`SpaceMap`](crate::SpaceMap) every `every_rounds`
+    /// rounds (paranoia mode), failing the execution with
+    /// [`ExecutionError::MirrorDivergence`] on the first disagreement.
+    /// `0` (the default) disables the check; returns `self` for
+    /// chaining.
+    pub fn with_paranoia(mut self, every_rounds: u32) -> Self {
+        self.paranoia = every_rounds;
+        self
     }
 
     /// Caps the number of rounds (safety net); returns `self` for chaining.
@@ -242,6 +294,16 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     /// Rounds executed so far.
     pub fn rounds(&self) -> u32 {
         self.round
+    }
+
+    /// Faults injected so far (all zero without a chaos plan).
+    pub fn chaos_counters(&self) -> ChaosCounters {
+        self.chaos_counters
+    }
+
+    /// The round at which a chaos mirror fault was planted, if one was.
+    pub fn mirror_fault_round(&self) -> Option<u32> {
+        self.mirror_fault_round
     }
 
     /// Consumes the execution, returning its parts for inspection.
@@ -318,6 +380,11 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             pcb_telemetry::record_max("space.slot_high_water", c.slot_high_water);
             pcb_telemetry::record_max("space.slots_reused", c.slots_reused);
         }
+        if self.chaos_counters != ChaosCounters::default() {
+            pcb_telemetry::record_max("chaos.alloc_refusals", self.chaos_counters.alloc_refusals);
+            pcb_telemetry::record_max("chaos.budget_cuts", self.chaos_counters.budget_cuts);
+            pcb_telemetry::record_max("chaos.mirror_faults", self.chaos_counters.mirror_faults);
+        }
     }
 
     /// Produces a report of the execution so far.
@@ -350,6 +417,24 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             round: self.round,
         });
 
+        // Chaos: a mid-run budget cut doubles the bound `c` (halving
+        // the move quota) of a bounded ledger. Free when the site's
+        // rate is zero.
+        if self
+            .chaos
+            .should_fire(FaultSite::BudgetCut, u64::from(self.round))
+        {
+            let c = self.heap.budget().c();
+            if c != 0
+                && c != u64::MAX
+                && self
+                    .heap
+                    .tighten_budget(c.saturating_mul(2).min(u64::MAX - 1))
+            {
+                self.chaos_counters.budget_cuts += 1;
+            }
+        }
+
         // Phase 1: de-allocation. The span covers the program's free
         // decisions as well as the heap bookkeeping they trigger.
         let free_span = pcb_telemetry::span!("engine.free");
@@ -373,6 +458,17 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         // is pure placement work.
         let alloc_span = pcb_telemetry::span!("engine.alloc");
         for size in self.program.allocs() {
+            // Chaos: a spurious refusal drops the request before the
+            // manager sees it — the program simply never receives a
+            // `placed` callback for it, as if the request had been
+            // elided. The attempt index advances either way, so the
+            // refusal pattern is independent of manager behavior.
+            let attempt = self.alloc_attempts;
+            self.alloc_attempts += 1;
+            if self.chaos.should_fire(FaultSite::AllocRefusal, attempt) {
+                self.chaos_counters.alloc_refusals += 1;
+                continue;
+            }
             let id = self.heap.fresh_id();
             let addr = {
                 let mut ops = HeapOps {
@@ -405,6 +501,43 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             }
         }
         drop(alloc_span);
+
+        // Chaos: plant at most one mirror corruption per execution, at
+        // the end of the round the schedule selects. The victim word is
+        // derived from the plan's seed and the round, so the corruption
+        // is identical across thread counts and substrates.
+        if self.mirror_fault_round.is_none()
+            && self
+                .chaos
+                .should_fire(FaultSite::MirrorFlip, u64::from(self.round))
+        {
+            let roll = splitmix64(self.chaos.seed() ^ u64::from(self.round));
+            if self.manager.inject_mirror_fault(roll, self.heap.space()) {
+                self.mirror_fault_round = Some(self.round);
+                self.chaos_counters.mirror_faults += 1;
+            }
+        }
+
+        // Paranoia: cross-check the manager's mirror against the
+        // ground truth every `paranoia` rounds. An injected corruption
+        // is therefore detected within `paranoia` rounds of being
+        // planted; the observed latency is published as telemetry.
+        if self.paranoia != 0 && (self.round + 1).is_multiple_of(self.paranoia) {
+            let _span = pcb_telemetry::span!("engine.paranoia");
+            if let MirrorCheck::Divergent(detail) = self.manager.mirror_check(self.heap.space()) {
+                if let Some(injected) = self.mirror_fault_round {
+                    pcb_telemetry::record_max(
+                        "chaos.detection_latency_rounds",
+                        u64::from(self.round - injected),
+                    );
+                }
+                return Err(ExecutionError::MirrorDivergence {
+                    round: self.round,
+                    injected_round: self.mirror_fault_round,
+                    detail,
+                });
+            }
+        }
 
         Self::emit(&mut observer, &mut self.tick, || Event::RoundEnd {
             round: self.round,
@@ -583,6 +716,138 @@ mod tests {
         let report = exec.run().unwrap();
         assert_eq!(report.rounds, 5);
         assert_eq!(report.objects_placed, 5);
+    }
+
+    #[test]
+    fn empty_chaos_plan_changes_nothing() {
+        let script = || {
+            ScriptedProgram::new(Size::new(100))
+                .round([], [4, 4])
+                .round([0], [8])
+        };
+        let mut plain = Execution::new(Heap::non_moving(), script(), Bump::default());
+        let mut chaotic = Execution::new(Heap::non_moving(), script(), Bump::default())
+            .with_chaos(FaultPlan::new(99))
+            .with_paranoia(1);
+        let a = plain.run().unwrap();
+        let b = chaotic.run().unwrap();
+        assert_eq!(a.heap_size, b.heap_size);
+        assert_eq!(a.objects_placed, b.objects_placed);
+        assert_eq!(chaotic.chaos_counters(), ChaosCounters::default());
+    }
+
+    #[test]
+    fn alloc_refusal_elides_requests_deterministically() {
+        let plan = FaultPlan::new(7).with_rate(FaultSite::AllocRefusal, pcb_chaos::PPM / 2);
+        let script = || ScriptedProgram::new(Size::new(1000)).round([], [4; 20]);
+        let mut a = Execution::new(Heap::non_moving(), script(), Bump::default()).with_chaos(plan);
+        let mut b = Execution::new(Heap::non_moving(), script(), Bump::default()).with_chaos(plan);
+        let ra = a.run().unwrap();
+        let rb = b.run().unwrap();
+        assert_eq!(
+            ra.objects_placed, rb.objects_placed,
+            "refusals are deterministic"
+        );
+        assert!(ra.objects_placed < 20, "some requests were refused");
+        assert_eq!(
+            a.chaos_counters().alloc_refusals,
+            20 - ra.objects_placed,
+            "every elided request is counted"
+        );
+    }
+
+    #[test]
+    fn budget_cut_tightens_a_bounded_ledger() {
+        let plan = FaultPlan::new(3).with_rate(FaultSite::BudgetCut, pcb_chaos::PPM);
+        let program = ScriptedProgram::new(Size::new(100))
+            .round([], [4])
+            .round([], [4]);
+        let mut exec = Execution::new(Heap::new(2), program, Bump::default()).with_chaos(plan);
+        exec.run().unwrap();
+        assert!(exec.chaos_counters().budget_cuts >= 1);
+        assert!(exec.heap().budget().c() > 2, "bound was tightened");
+
+        // Non-moving heaps have no bound to cut.
+        let program = ScriptedProgram::new(Size::new(100)).round([], [4]);
+        let mut exec =
+            Execution::new(Heap::non_moving(), program, Bump::default()).with_chaos(plan);
+        exec.run().unwrap();
+        assert_eq!(exec.chaos_counters().budget_cuts, 0);
+    }
+
+    #[test]
+    fn paranoia_detects_an_injected_mirror_fault_within_cadence() {
+        /// Bump allocator with a fake mirror: a corruption flag that
+        /// `mirror_check` reports once planted.
+        #[derive(Debug, Default)]
+        struct Mirrored {
+            top: u64,
+            corrupt: bool,
+        }
+        impl MemoryManager for Mirrored {
+            fn name(&self) -> &str {
+                "mirrored"
+            }
+            fn place(
+                &mut self,
+                req: AllocRequest,
+                _ops: &mut HeapOps<'_, '_>,
+            ) -> Result<Addr, PlacementError> {
+                let addr = Addr::new(self.top);
+                self.top += req.size.get();
+                Ok(addr)
+            }
+            fn note_free(&mut self, _id: ObjectId, _addr: Addr, _size: Size) {}
+            fn mirror_check(&self, _space: &crate::space::SpaceMap) -> crate::MirrorCheck {
+                if self.corrupt {
+                    crate::MirrorCheck::Divergent("planted".into())
+                } else {
+                    crate::MirrorCheck::Clean
+                }
+            }
+            fn inject_mirror_fault(&mut self, _roll: u64, _space: &crate::space::SpaceMap) -> bool {
+                self.corrupt = true;
+                true
+            }
+        }
+
+        // Fire the flip on round 0 with certainty; paranoia every 2
+        // rounds must detect it by round 1.
+        let plan = FaultPlan::new(11).with_rate(FaultSite::MirrorFlip, pcb_chaos::PPM);
+        let program = ScriptedProgram::new(Size::new(100))
+            .round([], [4])
+            .round([], [4])
+            .round([], [4])
+            .round([], [4]);
+        let mut exec = Execution::new(Heap::non_moving(), program, Mirrored::default())
+            .with_chaos(plan)
+            .with_paranoia(2);
+        let err = exec.run().unwrap_err();
+        match err {
+            ExecutionError::MirrorDivergence {
+                round,
+                injected_round: Some(injected),
+                ..
+            } => {
+                assert!(
+                    round - injected < 2,
+                    "latency {} >= cadence",
+                    round - injected
+                );
+                assert_eq!(injected, 0);
+            }
+            other => panic!("expected MirrorDivergence, got {other}"),
+        }
+        assert_eq!(exec.chaos_counters().mirror_faults, 1);
+
+        // Without paranoia the same fault goes unnoticed.
+        let program = ScriptedProgram::new(Size::new(100))
+            .round([], [4])
+            .round([], [4]);
+        let mut exec =
+            Execution::new(Heap::non_moving(), program, Mirrored::default()).with_chaos(plan);
+        exec.run().unwrap();
+        assert_eq!(exec.chaos_counters().mirror_faults, 1);
     }
 
     #[test]

@@ -132,6 +132,17 @@ pub enum ExecutionError {
     },
     /// The program requested freeing an object that is not live.
     BadFree(ObjectId),
+    /// A paranoia cross-check found the manager's free-space mirror
+    /// diverging from the ground-truth [`SpaceMap`](crate::SpaceMap).
+    MirrorDivergence {
+        /// Round at which the divergence was detected.
+        round: u32,
+        /// Round at which a chaos fault was injected, when the engine
+        /// injected one (detection latency = `round - injected_round`).
+        injected_round: Option<u32>,
+        /// First divergence found, as reported by the manager.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExecutionError {
@@ -145,6 +156,17 @@ impl fmt::Display for ExecutionError {
                 write!(f, "program exceeded live-space bound: {live} > {bound}")
             }
             ExecutionError::BadFree(id) => write!(f, "program freed non-live object {id}"),
+            ExecutionError::MirrorDivergence {
+                round,
+                injected_round,
+                detail,
+            } => {
+                write!(f, "manager mirror diverged from space map at round {round}")?;
+                if let Some(injected) = injected_round {
+                    write!(f, " (fault injected at round {injected})")?;
+                }
+                write!(f, ": {detail}")
+            }
         }
     }
 }

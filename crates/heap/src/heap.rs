@@ -389,6 +389,13 @@ impl Heap {
         &self.budget
     }
 
+    /// Tightens the compaction bound mid-run (a chaos "budget cut");
+    /// see [`CompactionBudget::tighten`]. Returns whether the bound
+    /// changed.
+    pub fn tighten_budget(&mut self, new_c: u64) -> bool {
+        self.budget.tighten(new_c)
+    }
+
     /// The ground-truth occupancy map (read-only).
     pub fn space(&self) -> &SpaceMap {
         &self.space

@@ -65,14 +65,16 @@ mod space;
 mod stats;
 mod trace;
 
+pub use pcb_chaos::{FaultPlan, FaultSite};
+
 pub use addr::{Addr, Extent, Size};
 pub use budget::CompactionBudget;
-pub use engine::{Execution, HeapSummary, NullObserver, Report};
+pub use engine::{ChaosCounters, Execution, HeapSummary, NullObserver, Report};
 pub use error::{ExecutionError, HeapError, SpaceError};
 pub use event::{Event, Observer, Observers, Recorder, Tick};
 pub use heap::{Heap, HeapStats};
 pub use heatmap::{heat_map, heat_map_rows};
-pub use manager::{AllocRequest, HeapOps, MemoryManager, MoveOutcome, PlacementError};
+pub use manager::{AllocRequest, HeapOps, MemoryManager, MirrorCheck, MoveOutcome, PlacementError};
 pub use metrics::{FragmentationSnapshot, MetricsCollector};
 pub use object::{ObjectId, ObjectIdGen, ObjectRecord};
 pub use params::{Params, ParamsError};

@@ -15,6 +15,7 @@ use crate::event::{Event, Observer, Tick};
 use crate::heap::Heap;
 use crate::object::ObjectId;
 use crate::program::{MoveResponse, Program};
+use crate::space::SpaceMap;
 use crate::stats::StatSink;
 
 /// An allocation request forwarded to the manager.
@@ -174,6 +175,19 @@ impl fmt::Debug for HeapOps<'_, '_> {
     }
 }
 
+/// Verdict of a manager's self-check against the ground-truth
+/// [`SpaceMap`] (see [`MemoryManager::mirror_check`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MirrorCheck {
+    /// The manager's mirror agrees with the referee.
+    Clean,
+    /// The mirror disagrees; the payload describes the first divergence
+    /// found (deterministic for a given mirror state).
+    Divergent(String),
+    /// The manager keeps no redundant mirror to cross-check.
+    Unsupported,
+}
+
 /// A memory manager: the allocator-plus-compactor of the paper's model.
 ///
 /// Implementations must return a placement whose extent is free when
@@ -212,6 +226,24 @@ pub trait MemoryManager {
     fn arena(&self) -> Option<Extent> {
         None
     }
+
+    /// Cross-checks the manager's redundant free-space mirror against
+    /// the ground-truth [`SpaceMap`] (paranoia mode). Managers without
+    /// a mirror report [`MirrorCheck::Unsupported`]; the default does.
+    fn mirror_check(&self, space: &SpaceMap) -> MirrorCheck {
+        let _ = space;
+        MirrorCheck::Unsupported
+    }
+
+    /// Injects one deterministic, detectable corruption into the
+    /// manager's mirror (chaos `mirror-flip` site), choosing the victim
+    /// from `roll`. Returns whether a fault was actually planted —
+    /// `false` (the default) for managers without a mirror, or when the
+    /// current mirror state offers nothing to corrupt.
+    fn inject_mirror_fault(&mut self, roll: u64, space: &SpaceMap) -> bool {
+        let _ = (roll, space);
+        false
+    }
 }
 
 /// Boxed-manager forwarding so `Box<dyn MemoryManager>` is itself a manager
@@ -239,6 +271,14 @@ impl MemoryManager for Box<dyn MemoryManager> {
 
     fn arena(&self) -> Option<Extent> {
         (**self).arena()
+    }
+
+    fn mirror_check(&self, space: &SpaceMap) -> MirrorCheck {
+        (**self).mirror_check(space)
+    }
+
+    fn inject_mirror_fault(&mut self, roll: u64, space: &SpaceMap) -> bool {
+        (**self).inject_mirror_fault(roll, space)
     }
 }
 

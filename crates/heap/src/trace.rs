@@ -351,6 +351,7 @@ pub struct TraceWriter<W: Write> {
     written: u64,
     dropped: u64,
     error: Option<io::Error>,
+    chaos: pcb_chaos::FaultPlan,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -362,10 +363,11 @@ impl<W: Write> TraceWriter<W> {
         TraceWriterBuilder {
             out,
             capacity: None,
+            chaos: pcb_chaos::FaultPlan::empty(),
         }
     }
 
-    fn start(mut out: W, c: u64, capacity: Option<usize>) -> Self {
+    fn start(mut out: W, c: u64, capacity: Option<usize>, chaos: pcb_chaos::FaultPlan) -> Self {
         let mut error = None;
         let ring = match capacity {
             Some(cap) => Some(VecDeque::with_capacity(cap.max(1))),
@@ -384,6 +386,7 @@ impl<W: Write> TraceWriter<W> {
             written: 0,
             dropped: 0,
             error,
+            chaos,
         }
     }
 
@@ -424,6 +427,7 @@ impl<W: Write> TraceWriter<W> {
 pub struct TraceWriterBuilder<W: Write> {
     out: W,
     capacity: Option<usize>,
+    chaos: pcb_chaos::FaultPlan,
 }
 
 impl<W: Write> TraceWriterBuilder<W> {
@@ -434,9 +438,18 @@ impl<W: Write> TraceWriterBuilder<W> {
         self
     }
 
+    /// Attaches a fault schedule whose `trace-io` site injects
+    /// synthetic sink errors (indexed by event count); they flow
+    /// through the writer's normal deferred-error path and surface at
+    /// [`finish`](TraceWriter::finish). The empty plan injects nothing.
+    pub fn chaos(mut self, plan: pcb_chaos::FaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
     /// Commits the configuration for a run under compaction bound `c`.
     pub fn begin(self, c: u64) -> TraceWriter<W> {
-        TraceWriter::start(self.out, c, self.capacity)
+        TraceWriter::start(self.out, c, self.capacity, self.chaos)
     }
 }
 
@@ -454,6 +467,16 @@ impl<W: Write> fmt::Debug for TraceWriter<W> {
 impl<W: Write> Observer for TraceWriter<W> {
     fn on_event(&mut self, _tick: Tick, event: &Event) {
         if self.error.is_some() {
+            return;
+        }
+        if self
+            .chaos
+            .should_fire(pcb_chaos::FaultSite::TraceIo, self.written)
+        {
+            self.error = Some(io::Error::other(format!(
+                "injected trace-sink fault (chaos plan, event {})",
+                self.written
+            )));
             return;
         }
         let event = TraceEvent::from(event);
@@ -568,6 +591,30 @@ mod tests {
         let streamed = Trace::from_jsonl(&String::from_utf8(bytes).unwrap()).unwrap();
         assert_eq!(streamed, rec.into_trace());
         assert!(streamed.replay().is_ok());
+    }
+
+    #[test]
+    fn injected_trace_io_fault_surfaces_at_finish() {
+        let plan = pcb_chaos::FaultPlan::new(5).with_rate(pcb_chaos::FaultSite::TraceIo, 200_000);
+        let mut writer = TraceWriter::new(Vec::new()).chaos(plan).begin(u64::MAX);
+        for round in 0..64u32 {
+            writer.on_event(round as Tick, &Event::RoundStart { round });
+        }
+        let err = writer.finish().unwrap_err();
+        assert!(
+            err.to_string().contains("injected trace-sink fault"),
+            "unexpected error: {err}"
+        );
+
+        // The empty plan leaves the stream intact.
+        let mut clean = TraceWriter::new(Vec::new())
+            .chaos(pcb_chaos::FaultPlan::empty())
+            .begin(u64::MAX);
+        for round in 0..64u32 {
+            clean.on_event(round as Tick, &Event::RoundStart { round });
+        }
+        assert_eq!(clean.events_seen(), 64);
+        assert!(clean.finish().is_ok());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 mod churn;
 mod dist;
 mod mixer;
+mod panic_inject;
 mod ramp;
 mod replay;
 mod tenant;
@@ -44,6 +45,7 @@ mod tenant;
 pub use churn::{ChurnConfig, ChurnWorkload, Lifetime};
 pub use dist::SizeDist;
 pub use mixer::{tenant_rng, MixWeights, MixerConfig, TenantSpec, WorkloadMixer};
+pub use panic_inject::{PanicProgram, PANIC_MESSAGE_PREFIX};
 pub use ramp::{RampConfig, RampWorkload};
 pub use replay::TraceWorkload;
 pub use tenant::{

@@ -99,6 +99,7 @@ usage:
                [--rounds <k>] [--allocs <k>] [--map] [--validate]
                [--series <file>] [--every <k>] [--stats]
                [--substrate bitmap|reference]
+               [--chaos <spec>] [--paranoia <k>]
   pcb record <file.json|file.jsonl> [simulate options]
   pcb replay <file.json|file.jsonl>
   pcb fleet [--tenants <n>] [--shards <n>] [--manager <name>]
@@ -106,13 +107,21 @@ usage:
             [--theta <zipf>] [--rounds <k>] [--allocs <k>]
             [--mix churn,ramp,replay,adversary] [--c <c>]
             [--threads <n>] [--substrate bitmap|reference] [--json]
+            [--chaos <spec>] [--paranoia <k>]
+            [--checkpoint <file>] [--checkpoint-every <shards>]
+            [--resume] [--stop-after <shards>]
   pcb bench diff <new.json> --against <baseline.json> [--tolerance <pct>]
   pcb sweep <bound> c <M_words> <log2_n> <c_from> <c_to>
   pcb sweep <bound> n <M_over_n> <c> <logn_from> <logn_to>
   pcb sweep rho <M_words> <log2_n> <c>
   pcb worst-case <M_words> <log2_n> [first-fit|best-fit|next-fit]
                  [--max-states <n>] [--threads <n>]
+                 [--checkpoint <file>] [--checkpoint-every <levels>]
+                 [--resume] [--stop-after <levels>]
   pcb reproduce
+    (--chaos spec: seed=<s>,<site>=<rate_ppm>,... with sites
+     alloc-refusal budget-cut mirror-flip trace-io tenant-panic;
+     --paranoia k cross-checks manager mirrors every k rounds)
     (bounds: thm1-lower thm2-upper robson-p2 robson-doubled
              bp11-upper bp11-lower)
 ";
@@ -229,6 +238,8 @@ struct SimOpts {
     substrate: Option<Substrate>,
     rounds: Option<u32>,
     allocs: Option<usize>,
+    chaos: Option<partial_compaction::FaultPlan>,
+    paranoia: u32,
 }
 
 fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
@@ -248,6 +259,8 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
         substrate: None,
         rounds: None,
         allocs: None,
+        chaos: None,
+        paranoia: 0,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -301,6 +314,17 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
                         .map_err(|e| format!("--allocs: {e}"))?,
                 )
             }
+            "--chaos" => {
+                opts.chaos =
+                    Some(value("--chaos")?.parse().map_err(
+                        |e: partial_compaction::chaos::ParseFaultPlanError| e.to_string(),
+                    )?)
+            }
+            "--paranoia" => {
+                opts.paranoia = value("--paranoia")?
+                    .parse()
+                    .map_err(|e| format!("--paranoia: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -317,6 +341,10 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     if let Some(substrate) = opts.substrate {
         run = run.with_substrate(substrate);
     }
+    if let Some(chaos) = opts.chaos {
+        run = run.with_chaos(chaos);
+    }
+    run = run.with_paranoia(opts.paranoia);
     run.apply();
 
     let heap = if opts.manager.is_unbounded() {
@@ -334,7 +362,9 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     } else {
         u64::MAX
     };
-    let manager = opts.manager.build(&params);
+    // try_build: a parameter combination the manager cannot serve is a
+    // clean CLI error, not a panic.
+    let manager = opts.manager.try_build(&params).map_err(|e| e.to_string())?;
 
     let program: Box<dyn Program> = match opts.program.as_str() {
         "pf" | "pf-baseline" => {
@@ -371,7 +401,9 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
         other => return Err(format!("unknown program {other}")),
     };
 
-    let mut exec = Execution::new(heap, program, manager);
+    let mut exec = Execution::new(heap, program, manager)
+        .with_chaos(run.chaos)
+        .with_paranoia(run.paranoia);
     if opts.stats {
         exec = exec.with_stats();
     }
@@ -387,7 +419,11 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
             // Streaming mode: events go straight to disk, one JSON object
             // per line, so arbitrarily long runs record in constant memory.
             let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
-            writer = Some(TraceWriter::new(std::io::BufWriter::new(file)).begin(budget_c));
+            writer = Some(
+                TraceWriter::new(std::io::BufWriter::new(file))
+                    .chaos(run.chaos)
+                    .begin(budget_c),
+            );
         } else {
             recorder = Some(TraceRecorder::new(budget_c));
         }
@@ -473,6 +509,10 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let mut cfg = fleet::FleetConfig::default();
     let mut run = RunConfig::from_env();
     let mut json = false;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every = 16usize;
+    let mut resume = false;
+    let mut stop_after: Option<usize> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -556,13 +596,64 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
                         |e: partial_compaction::heap::ParseSubstrateError| e.to_string(),
                     )?)
             }
+            "--chaos" => {
+                run =
+                    run.with_chaos(value("--chaos")?.parse().map_err(
+                        |e: partial_compaction::chaos::ParseFaultPlanError| e.to_string(),
+                    )?)
+            }
+            "--paranoia" => {
+                run = run.with_paranoia(
+                    value("--paranoia")?
+                        .parse()
+                        .map_err(|e| format!("--paranoia: {e}"))?,
+                )
+            }
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-every" => {
+                checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--resume" => resume = true,
+            "--stop-after" => {
+                stop_after = Some(
+                    value("--stop-after")?
+                        .parse()
+                        .map_err(|e| format!("--stop-after: {e}"))?,
+                )
+            }
             "--json" => json = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if resume && checkpoint.is_none() {
+        return Err("--resume needs --checkpoint <file>".into());
+    }
     run.apply();
     let start = std::time::Instant::now();
-    let report = fleet::run(&cfg, &run).map_err(|e| e.to_string())?;
+    let report = match &checkpoint {
+        Some(path) => {
+            let mut opts = fleet::CheckpointOptions::new(path)
+                .every(checkpoint_every)
+                .resume(resume);
+            opts.stop_after = stop_after;
+            match fleet::run_checkpointed(&cfg, &run, &opts).map_err(|e| e.to_string())? {
+                fleet::FleetOutcome::Complete(report) => report,
+                fleet::FleetOutcome::Paused {
+                    shards_done,
+                    shards_total,
+                } => {
+                    eprintln!(
+                        "paused after {shards_done}/{shards_total} shards; \
+                         checkpoint -> {path} (continue with --resume)"
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        None => fleet::run(&cfg, &run).map_err(|e| e.to_string())?,
+    };
     let elapsed = start.elapsed().as_secs_f64();
     if json {
         println!("{}", pcb_json::ToJson::to_json(&report));
@@ -675,31 +766,56 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_worst_case(args: &[String]) -> Result<(), String> {
-    use partial_compaction::exhaustive::{try_worst_case_with, SearchPolicy};
+    use partial_compaction::exhaustive::{
+        try_worst_case_resumable, try_worst_case_with, SearchOutcome, SearchPolicy,
+    };
     let mut positional: Vec<&String> = Vec::new();
     let mut max_states = 50_000_000usize;
     let mut run = RunConfig::from_env();
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every = 1usize;
+    let mut resume = false;
+    let mut stop_after: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
         match arg.as_str() {
             "--max-states" => {
-                max_states = it
-                    .next()
-                    .ok_or_else(|| "--max-states needs a value".to_string())?
+                max_states = value("--max-states")?
                     .parse()
                     .map_err(|e| format!("--max-states: {e}"))?
             }
             "--threads" => {
                 run = run.with_threads(
-                    it.next()
-                        .ok_or_else(|| "--threads needs a value".to_string())?
+                    value("--threads")?
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-every" => {
+                checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--resume" => resume = true,
+            "--stop-after" => {
+                stop_after = Some(
+                    value("--stop-after")?
+                        .parse()
+                        .map_err(|e| format!("--stop-after: {e}"))?,
                 )
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(arg),
         }
+    }
+    if resume && checkpoint.is_none() {
+        return Err("--resume needs --checkpoint <file>".into());
     }
     let (m, log_n, policy) = match positional.as_slice() {
         [m, log_n] => (m, log_n, SearchPolicy::FirstFit),
@@ -729,8 +845,28 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
             "exhaustive search is toy-scale only (M <= 16, log n <= 3); got {params}"
         ));
     }
-    let report = try_worst_case_with(params, policy, max_states, &run)
-        .map_err(|e| format!("parameters not toy enough: {e}"))?;
+    let report = match &checkpoint {
+        Some(path) => {
+            let mut opts = fleet::CheckpointOptions::new(path)
+                .every(checkpoint_every)
+                .resume(resume);
+            opts.stop_after = stop_after;
+            match try_worst_case_resumable(params, policy, max_states, &run, &opts)
+                .map_err(|e| e.to_string())?
+            {
+                SearchOutcome::Complete(report) => report,
+                SearchOutcome::Paused { levels_done } => {
+                    eprintln!(
+                        "paused after {levels_done} BFS levels; \
+                         checkpoint -> {path} (continue with --resume)"
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        None => try_worst_case_with(params, policy, max_states, &run)
+            .map_err(|e| format!("parameters not toy enough: {e}"))?,
+    };
     println!(
         "true worst case for {} at M={}, n={}: HS = {} words ({} reachable states)",
         policy.name(),

@@ -155,6 +155,132 @@ fn worst_case_reports_an_exceeded_state_cap_gracefully() {
 }
 
 #[test]
+fn record_surfaces_injected_trace_sink_faults_as_a_clean_exit() {
+    // A failing trace sink (here: deterministic chaos injection at the
+    // trace-io site) must become a readable non-zero exit, not a panic
+    // and not a silently-truncated trace reported as success.
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chaos-trace.jsonl");
+    let (stdout, stderr, ok) = pcb(&[
+        "record",
+        path.to_str().unwrap(),
+        "--program",
+        "churn",
+        "--m",
+        "4096",
+        "--chaos",
+        "seed=5,trace-io=1000000",
+    ]);
+    assert!(!ok, "a failing sink must fail the run:\n{stdout}");
+    assert!(stderr.contains("injected trace-sink fault"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn simulate_rejects_malformed_chaos_specs() {
+    let (_, stderr, ok) = pcb(&["simulate", "--chaos", "seed=zap"]);
+    assert!(!ok);
+    assert!(stderr.contains("fault plan"), "{stderr}");
+}
+
+#[test]
+fn fleet_quarantines_injected_panics_and_reports_them() {
+    let (stdout, _, ok) = pcb(&[
+        "fleet",
+        "--tenants",
+        "64",
+        "--shards",
+        "8",
+        "--m-min",
+        "128",
+        "--m-max",
+        "1024",
+        "--chaos",
+        "seed=7,tenant-panic=200000",
+    ]);
+    assert!(ok, "a poisoned fleet still completes:\n{stdout}");
+    assert!(stdout.contains("tenants quarantined"), "{stdout}");
+    assert!(stdout.contains("panic"), "{stdout}");
+}
+
+#[test]
+fn fleet_checkpoint_pause_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fleet-ck.json");
+    let path_str = path.to_str().unwrap();
+    std::fs::remove_file(&path).ok();
+    let base = [
+        "fleet",
+        "--tenants",
+        "64",
+        "--shards",
+        "8",
+        "--m-min",
+        "128",
+        "--m-max",
+        "1024",
+        "--json",
+    ];
+    let (full, _, ok) = pcb(&base);
+    assert!(ok);
+    let mut paused: Vec<&str> = base.to_vec();
+    paused.extend([
+        "--checkpoint",
+        path_str,
+        "--checkpoint-every",
+        "2",
+        "--stop-after",
+        "3",
+    ]);
+    let (_, stderr, ok) = pcb(&paused);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("paused after 3/8 shards"), "{stderr}");
+    let mut resumed: Vec<&str> = base.to_vec();
+    resumed.extend(["--checkpoint", path_str, "--resume"]);
+    let (out, stderr, ok) = pcb(&resumed);
+    assert!(ok, "{stderr}");
+    assert_eq!(out, full, "resumed JSON differs from the uninterrupted run");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn resume_without_a_checkpoint_path_is_an_error() {
+    let (_, stderr, ok) = pcb(&["fleet", "--resume"]);
+    assert!(!ok);
+    assert!(stderr.contains("--resume needs --checkpoint"), "{stderr}");
+    let (_, stderr, ok) = pcb(&["worst-case", "6", "1", "--resume"]);
+    assert!(!ok);
+    assert!(stderr.contains("--resume needs --checkpoint"), "{stderr}");
+}
+
+#[test]
+fn worst_case_checkpoint_pause_resume_matches_the_pinned_constant() {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wc-ck.json");
+    let path_str = path.to_str().unwrap();
+    std::fs::remove_file(&path).ok();
+    let (_, stderr, ok) = pcb(&[
+        "worst-case",
+        "6",
+        "1",
+        "--checkpoint",
+        path_str,
+        "--stop-after",
+        "4",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("paused after 4 BFS levels"), "{stderr}");
+    let (stdout, _, ok) = pcb(&["worst-case", "6", "1", "--checkpoint", path_str, "--resume"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("HS = 9 words"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn no_arguments_prints_usage() {
     let (_, stderr, ok) = pcb(&[]);
     assert!(!ok);
