@@ -426,6 +426,17 @@ impl MemoryManager for PageManager {
         "pages-thm2"
     }
 
+    /// Free slots trapped inside open pages: a class-`k` slot holds
+    /// `2^k` words that no other size class can use — the page
+    /// geometry's internal fragmentation.
+    fn internal_waste(&self) -> u64 {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(k, class)| (class.free_slots as u64) << k)
+            .sum()
+    }
+
     fn place(
         &mut self,
         req: AllocRequest,

@@ -38,6 +38,10 @@ pub struct RunConfig {
     /// Cross-check manager mirrors against the ground truth every this
     /// many rounds; 0 (the default) disables paranoia mode.
     pub paranoia: u32,
+    /// Whether the `pcb-metrics` registry collects and reports embed a
+    /// [`MetricsSnapshot`](pcb_metrics::MetricsSnapshot); off (the
+    /// default) costs one relaxed load per recording site.
+    pub metrics: bool,
 }
 
 impl RunConfig {
@@ -52,6 +56,7 @@ impl RunConfig {
             telemetry: pcb_telemetry::enabled(),
             chaos: FaultPlan::empty(),
             paranoia: 0,
+            metrics: pcb_metrics::enabled(),
         }
     }
 
@@ -85,14 +90,26 @@ impl RunConfig {
         self
     }
 
+    /// Overrides the metrics toggle.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Applies the process-global side of the configuration (the
-    /// telemetry registry is a process singleton; threads and substrate
-    /// are threaded explicitly and need no global application).
+    /// telemetry and metrics registries are process singletons; threads
+    /// and substrate are threaded explicitly and need no global
+    /// application).
     pub fn apply(&self) {
         if self.telemetry {
             pcb_telemetry::enable();
         } else {
             pcb_telemetry::disable();
+        }
+        if self.metrics {
+            pcb_metrics::enable();
+        } else {
+            pcb_metrics::disable();
         }
     }
 }
@@ -107,6 +124,7 @@ impl Default for RunConfig {
             telemetry: false,
             chaos: FaultPlan::empty(),
             paranoia: 0,
+            metrics: false,
         }
     }
 }
@@ -120,13 +138,16 @@ impl fmt::Display for RunConfig {
             self.substrate,
             if self.telemetry { "on" } else { "off" }
         )?;
-        // The chaos knobs print only when set, so the common (fault-free)
+        // The chaos and metrics knobs print only when set, so the common
         // display stays exactly as it always was.
         if !self.chaos.is_empty() {
             write!(f, " chaos={}", self.chaos)?;
         }
         if self.paranoia != 0 {
             write!(f, " paranoia={}", self.paranoia)?;
+        }
+        if self.metrics {
+            write!(f, " metrics=on")?;
         }
         Ok(())
     }
@@ -167,6 +188,15 @@ mod tests {
     fn display_is_compact() {
         let cfg = RunConfig::default();
         assert_eq!(cfg.to_string(), "threads=1 substrate=bitmap telemetry=off");
+    }
+
+    #[test]
+    fn display_names_the_metrics_knob_only_when_on() {
+        let cfg = RunConfig::default().with_metrics(true);
+        assert_eq!(
+            cfg.to_string(),
+            "threads=1 substrate=bitmap telemetry=off metrics=on"
+        );
     }
 
     #[test]

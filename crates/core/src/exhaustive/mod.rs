@@ -294,6 +294,48 @@ pub fn try_worst_case_with(
     Ok(search.into_report())
 }
 
+/// One per-level progress pulse from [`try_worst_case_observed`].
+#[derive(Debug, Clone, Copy)]
+pub struct LevelPulse {
+    /// BFS levels expanded so far.
+    pub levels: usize,
+    /// States in the next frontier (0 when the search just drained).
+    pub frontier_states: usize,
+    /// States interned across all shards so far.
+    pub seen_states: usize,
+    /// Resident bytes of the seen-set across all shards.
+    pub resident_bytes: u64,
+}
+
+/// [`try_worst_case_with`] with a per-level observer: `on_level` fires
+/// after every expanded BFS level with a [`LevelPulse`], so a CLI can
+/// heartbeat a long search without touching the result. The returned
+/// report is byte-identical to [`try_worst_case_with`]'s.
+///
+/// # Errors
+///
+/// Same as [`try_worst_case`].
+pub fn try_worst_case_observed(
+    params: Params,
+    policy: SearchPolicy,
+    max_states: usize,
+    run: &crate::RunConfig,
+    mut on_level: impl FnMut(LevelPulse),
+) -> Result<SearchReport, SearchError> {
+    let _span = pcb_telemetry::span!("exhaustive.worst_case");
+    let mut search = Search::new(params, policy, max_states, run)?;
+    while !search.is_done() {
+        search.step()?;
+        on_level(LevelPulse {
+            levels: search.stats.levels,
+            frontier_states: search.frontier.len(),
+            seen_states: search.seen.iter().map(Interner::len).sum(),
+            resident_bytes: search.seen.iter().map(Interner::resident_bytes).sum(),
+        });
+    }
+    Ok(search.into_report())
+}
+
 /// The result of a checkpointed search.
 #[derive(Debug)]
 pub enum SearchOutcome {
@@ -532,6 +574,13 @@ impl Search {
         self.stats.levels += 1;
         self.stats.peak_frontier = self.stats.peak_frontier.max(self.frontier.len());
         pcb_telemetry::record_max("exhaustive.frontier_states", self.frontier.len() as u64);
+        // The same high-water marks on the metric plane (one relaxed
+        // load each when metrics are off).
+        static FRONTIER_GAUGE: pcb_metrics::Gauge =
+            pcb_metrics::Gauge::new("exhaustive.frontier_states");
+        static LEVELS_GAUGE: pcb_metrics::Gauge = pcb_metrics::Gauge::new("exhaustive.levels");
+        FRONTIER_GAUGE.record_max(self.frontier.len() as u64);
+        LEVELS_GAUGE.record_max(self.stats.levels as u64);
         let frontier = std::mem::take(&mut self.frontier);
         // Level-synchronous expansion: fan the frontier across threads.
         let expanded: Vec<Result<(u64, Vec<PackedState>), SearchError>> =
@@ -599,6 +648,15 @@ impl Search {
             "exhaustive.resident_bytes",
             self.seen.iter().map(Interner::resident_bytes).sum(),
         );
+        static SEEN_GAUGE: pcb_metrics::Gauge =
+            pcb_metrics::Gauge::new("exhaustive.interned_states");
+        static RESIDENT_GAUGE: pcb_metrics::Gauge =
+            pcb_metrics::Gauge::new("exhaustive.resident_bytes");
+        static PAYLOAD_GAUGE: pcb_metrics::Gauge =
+            pcb_metrics::Gauge::new("exhaustive.payload_words");
+        SEEN_GAUGE.record_max(states as u64);
+        RESIDENT_GAUGE.record_max(self.seen.iter().map(Interner::resident_bytes).sum());
+        PAYLOAD_GAUGE.record_max(self.stats.payload_words);
         if states > self.max_states {
             return Err(SearchError::StateSpaceExceeded {
                 states,

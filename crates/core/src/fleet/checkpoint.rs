@@ -29,8 +29,10 @@ use super::{
 use crate::config::RunConfig;
 
 /// Version stamp embedded in every checkpoint; bumped whenever the
-/// serialized layout changes incompatibly.
-pub const FORMAT_VERSION: u64 = 1;
+/// serialized layout changes incompatibly (v2: waste-attribution
+/// vectors, per-bucket rollups, and the metric plane joined the
+/// accumulator).
+pub const FORMAT_VERSION: u64 = 2;
 
 /// How a checkpointed fleet run behaves.
 #[derive(Debug, Clone)]
@@ -118,8 +120,18 @@ pub(crate) fn hash_desc(desc: &str) -> u64 {
 /// is deliberately excluded (see the module docs).
 pub(crate) fn fingerprint(cfg: &FleetConfig, run: &RunConfig) -> u64 {
     hash_desc(&format!(
-        "{}|{}|{}|{:?}|{}|{}|{}",
-        cfg.tenants, cfg.shards, cfg.manager, cfg.mixer, run.substrate, run.chaos, run.paranoia
+        "{}|{}|{}|{:?}|{}|{}|{}|{}",
+        cfg.tenants,
+        cfg.shards,
+        cfg.manager,
+        cfg.mixer,
+        run.substrate,
+        run.chaos,
+        run.paranoia,
+        // Metrics shape the accumulator (the snapshot is part of the
+        // serialized state), so a metrics-on run cannot resume a
+        // metrics-off checkpoint. Threads stay excluded.
+        run.metrics,
     ))
 }
 
@@ -238,6 +250,27 @@ fn accumulator_to_json(acc: &FleetAccumulator) -> Json {
             Json::array(acc.kind_waste_sum.iter().map(|&s| Json::from(s))),
         ),
         ("heat", Json::array(acc.heat.iter().map(|&c| Json::from(c)))),
+        (
+            "kind_external",
+            Json::array(acc.kind_external.iter().map(|&w| Json::from(w))),
+        ),
+        (
+            "kind_ghost",
+            Json::array(acc.kind_ghost.iter().map(|&w| Json::from(w))),
+        ),
+        (
+            "kind_internal",
+            Json::array(acc.kind_internal.iter().map(|&w| Json::from(w))),
+        ),
+        (
+            "bucket_waste_sum",
+            Json::array(acc.bucket_waste_sum.iter().map(|&s| Json::from(s))),
+        ),
+        (
+            "bucket_tenants",
+            Json::array(acc.bucket_tenants.iter().map(|&t| Json::from(t))),
+        ),
+        ("metrics", acc.metrics.to_json()),
         ("objects_placed", Json::from(acc.objects_placed)),
         ("words_placed", Json::from(acc.words_placed)),
         ("words_moved", Json::from(acc.words_moved)),
@@ -353,6 +386,16 @@ fn accumulator_from_json(
         kind_counts: u64_vec(json, "kind_counts", kinds)?,
         kind_waste_sum: f64_vec(json, "kind_waste_sum", kinds)?,
         heat: u64_vec(json, "heat", size_buckets * HEAT_COLS)?,
+        kind_external: u64_vec(json, "kind_external", kinds)?,
+        kind_ghost: u64_vec(json, "kind_ghost", kinds)?,
+        kind_internal: u64_vec(json, "kind_internal", kinds)?,
+        bucket_waste_sum: f64_vec(json, "bucket_waste_sum", size_buckets)?,
+        bucket_tenants: u64_vec(json, "bucket_tenants", size_buckets)?,
+        metrics: pcb_metrics::MetricsSnapshot::from_json(
+            json.get("metrics")
+                .ok_or_else(|| "missing object `metrics`".to_string())?,
+        )
+        .map_err(|e| format!("metrics snapshot: {e}"))?,
         objects_placed: u64_field(json, "objects_placed")?,
         words_placed: u64_field(json, "words_placed")?,
         words_moved: u64_field(json, "words_moved")?,
@@ -381,6 +424,11 @@ mod tests {
         other.tenants += 1;
         assert_ne!(base, fingerprint(&other, &run));
         assert_ne!(base, fingerprint(&cfg, &run.with_paranoia(4)));
+        assert_ne!(
+            base,
+            fingerprint(&cfg, &run.with_metrics(true)),
+            "the metric plane is part of the serialized accumulator"
+        );
         // A plan with a seed but no rates injects nothing — it is the
         // empty plan behaviorally, so it must fingerprint identically.
         assert_eq!(
@@ -405,6 +453,14 @@ mod tests {
         acc.objects_placed = 1234;
         acc.words_placed = 99_999;
         acc.words_moved = 42;
+        acc.kind_external[1] = 77;
+        acc.kind_ghost[0] = 5;
+        acc.kind_internal[2] = 13;
+        acc.bucket_waste_sum[3] = 6.5;
+        acc.bucket_tenants[3] = 4;
+        acc.metrics.add_counter("fleet.words_placed", 99_999);
+        acc.metrics.record_gauge_max("fleet.max_waste_milli", 1734);
+        acc.metrics.observe("fleet.waste_milli", 1734);
         acc.record_failure(3, "churn", FailureCause::Panic("boom".into()));
         let json = accumulator_to_json(&acc);
         let back = accumulator_from_json(&json, 3, 4).expect("round trip");
@@ -413,6 +469,16 @@ mod tests {
         assert_eq!(back.waste_sum.to_bits(), acc.waste_sum.to_bits());
         assert_eq!(back.max_waste.to_bits(), acc.max_waste.to_bits());
         assert_eq!(back.kind_waste_sum, acc.kind_waste_sum);
+        assert_eq!(back.kind_external, acc.kind_external);
+        assert_eq!(back.kind_ghost, acc.kind_ghost);
+        assert_eq!(back.kind_internal, acc.kind_internal);
+        assert_eq!(back.bucket_waste_sum, acc.bucket_waste_sum);
+        assert_eq!(back.bucket_tenants, acc.bucket_tenants);
+        assert_eq!(
+            back.metrics.to_json().to_string(),
+            acc.metrics.to_json().to_string(),
+            "metric plane survives the round trip byte-for-byte"
+        );
         assert_eq!(back.failures, acc.failures);
     }
 

@@ -51,11 +51,14 @@ use pcb_alloc::ManagerKind;
 use pcb_chaos::FaultSite;
 use pcb_heap::{Execution, ExecutionError, Heap, HeapSummary, Program};
 use pcb_json::{Json, ToJson};
+use pcb_metrics::MetricsSnapshot;
 use pcb_workload::{MixerConfig, PanicProgram, TenantSpec, WorkloadMixer};
 
+use crate::bounds;
 use crate::config::RunConfig;
 use crate::parallel;
 use crate::params::Params;
+use crate::progress::{Heartbeat, ProgressOptions};
 
 pub mod checkpoint;
 
@@ -220,6 +223,25 @@ pub struct FleetAccumulator {
     /// Heat map: `size_buckets × HEAT_COLS` tenant counts (row = tenant
     /// size bucket, column = waste factor in quarter-unit steps).
     pub heat: Vec<u64>,
+    /// External-fragmentation words per workload family (hole words
+    /// inside the span at peak `HS`).
+    pub kind_external: Vec<u64>,
+    /// Ghost words per workload family (moved-then-immediately-freed,
+    /// the `P_F` discipline).
+    pub kind_ghost: Vec<u64>,
+    /// Internal-fragmentation words per workload family (manager-held
+    /// words no request can use, e.g. empty page slots).
+    pub kind_internal: Vec<u64>,
+    /// Waste-factor sum per size bucket (pairs with
+    /// [`bucket_tenants`](Self::bucket_tenants) for the per-bucket mean
+    /// compared against the Theorem 1 curve).
+    pub bucket_waste_sum: Vec<f64>,
+    /// Tenants per size bucket.
+    pub bucket_tenants: Vec<u64>,
+    /// The fleet's metric plane: a [`MetricsSnapshot`] folded per shard
+    /// and merged in shard order. Empty unless
+    /// [`RunConfig::metrics`](crate::RunConfig) is on.
+    pub metrics: MetricsSnapshot,
     /// Total objects placed across the fleet.
     pub objects_placed: u64,
     /// Total words allocated across the fleet.
@@ -247,6 +269,12 @@ impl FleetAccumulator {
             kind_counts: vec![0; kinds],
             kind_waste_sum: vec![0.0; kinds],
             heat: vec![0; size_buckets * HEAT_COLS],
+            kind_external: vec![0; kinds],
+            kind_ghost: vec![0; kinds],
+            kind_internal: vec![0; kinds],
+            bucket_waste_sum: vec![0.0; size_buckets],
+            bucket_tenants: vec![0; size_buckets],
+            metrics: MetricsSnapshot::new(),
             objects_placed: 0,
             words_placed: 0,
             words_moved: 0,
@@ -274,9 +302,36 @@ impl FleetAccumulator {
         self.kind_waste_sum[spec.kind] += waste;
         let col = ((waste * HEAT_COLS as f64 / 8.0) as usize).min(HEAT_COLS - 1);
         self.heat[spec.size_rank * HEAT_COLS + col] += 1;
+        self.kind_external[spec.kind] += summary.external_waste;
+        self.kind_ghost[spec.kind] += summary.ghost_words;
+        self.kind_internal[spec.kind] += summary.internal_waste;
+        self.bucket_waste_sum[spec.size_rank] += waste;
+        self.bucket_tenants[spec.size_rank] += 1;
         self.objects_placed += summary.objects_placed;
         self.words_placed += summary.words_placed;
         self.words_moved += summary.words_moved;
+    }
+
+    /// Folds one tenant into the metric plane. Separate from
+    /// [`record`](Self::record) (and called only when metrics are on) so
+    /// the metrics-off fleet
+    /// does no string work per tenant. Every value is an integer —
+    /// counter sums, gauge maxes, histogram bucket counts — so the
+    /// merged snapshot is byte-identical for any thread count.
+    fn record_metrics(&mut self, family: &str, summary: &HeapSummary) {
+        let m = &mut self.metrics;
+        m.add_counter(format!("fleet.tenants.{family}"), 1);
+        m.add_counter("fleet.objects_placed", summary.objects_placed);
+        m.add_counter("fleet.words_placed", summary.words_placed);
+        m.add_counter("fleet.words_moved", summary.words_moved);
+        m.add_counter("waste.external_words", summary.external_waste);
+        m.add_counter("waste.ghost_words", summary.ghost_words);
+        m.add_counter("waste.internal_words", summary.internal_waste);
+        // Waste factors enter the integer-only plane in milli-units.
+        let waste_milli = (summary.waste_factor * 1000.0).max(0.0) as u64;
+        m.record_gauge_max("fleet.max_waste_milli", waste_milli);
+        m.observe("fleet.waste_milli", waste_milli);
+        m.observe("fleet.heap_size_words", summary.heap_size);
     }
 
     /// Quarantines one tenant failure. Counts are always exact; the
@@ -320,6 +375,26 @@ impl FleetAccumulator {
         for (a, b) in self.heat.iter_mut().zip(&other.heat) {
             *a += b;
         }
+        for (a, b) in self.kind_external.iter_mut().zip(&other.kind_external) {
+            *a += b;
+        }
+        for (a, b) in self.kind_ghost.iter_mut().zip(&other.kind_ghost) {
+            *a += b;
+        }
+        for (a, b) in self.kind_internal.iter_mut().zip(&other.kind_internal) {
+            *a += b;
+        }
+        for (a, b) in self
+            .bucket_waste_sum
+            .iter_mut()
+            .zip(&other.bucket_waste_sum)
+        {
+            *a += b;
+        }
+        for (a, b) in self.bucket_tenants.iter_mut().zip(&other.bucket_tenants) {
+            *a += b;
+        }
+        self.metrics.merge(&other.metrics);
         self.objects_placed += other.objects_placed;
         self.words_placed += other.words_placed;
         self.words_moved += other.words_moved;
@@ -361,6 +436,12 @@ impl FleetAccumulator {
             + self.kind_counts.capacity() * std::mem::size_of::<u64>()
             + self.kind_waste_sum.capacity() * std::mem::size_of::<f64>()
             + self.heat.capacity() * std::mem::size_of::<u64>()
+            + (self.kind_external.capacity()
+                + self.kind_ghost.capacity()
+                + self.kind_internal.capacity()
+                + self.bucket_tenants.capacity())
+                * std::mem::size_of::<u64>()
+            + self.bucket_waste_sum.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -389,6 +470,10 @@ pub struct FleetReport {
     pub max_tenant: u64,
     /// Mean waste factor.
     pub mean_waste: f64,
+    /// Theorem 1 lower-bound waste factor per size bucket, evaluated at
+    /// each bucket's `(M, log n, c)` — the curve the measured per-bucket
+    /// means are attributed against.
+    pub bucket_thm1: Vec<f64>,
     /// Aggregation state resident across all shards, in bytes.
     pub resident_bytes: u64,
     /// The merged streaming state (histograms, rollups, totals).
@@ -396,6 +481,28 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
+    /// The fleet's metric plane, when the run collected one
+    /// ([`RunConfig::metrics`](crate::RunConfig)); `None` on a
+    /// metrics-off run.
+    pub fn metrics(&self) -> Option<&MetricsSnapshot> {
+        if self.accumulator.metrics.is_empty() {
+            None
+        } else {
+            Some(&self.accumulator.metrics)
+        }
+    }
+
+    /// Per-bucket mean waste factors (0 for empty buckets), aligned with
+    /// [`size_buckets`](Self::size_buckets) and
+    /// [`bucket_thm1`](Self::bucket_thm1).
+    pub fn bucket_mean_waste(&self) -> Vec<f64> {
+        self.accumulator
+            .bucket_waste_sum
+            .iter()
+            .zip(&self.accumulator.bucket_tenants)
+            .map(|(&sum, &count)| if count == 0 { 0.0 } else { sum / count as f64 })
+            .collect()
+    }
     /// Renders the size × waste heat map as ASCII, one row per size
     /// bucket (largest tenants on top), columns spanning waste `[0, 8)`
     /// in quarter-unit steps, each cell shaded by tenant count relative
@@ -433,7 +540,33 @@ impl FleetReport {
 impl ToJson for FleetReport {
     fn to_json(&self) -> Json {
         let acc = &self.accumulator;
-        Json::object([
+        let attribution = Json::object([
+            (
+                "external_words",
+                Json::from(acc.kind_external.iter().sum::<u64>()),
+            ),
+            (
+                "ghost_words",
+                Json::from(acc.kind_ghost.iter().sum::<u64>()),
+            ),
+            (
+                "internal_words",
+                Json::from(acc.kind_internal.iter().sum::<u64>()),
+            ),
+            (
+                "kind_external",
+                Json::array(acc.kind_external.iter().map(|&w| Json::from(w))),
+            ),
+            (
+                "kind_ghost",
+                Json::array(acc.kind_ghost.iter().map(|&w| Json::from(w))),
+            ),
+            (
+                "kind_internal",
+                Json::array(acc.kind_internal.iter().map(|&w| Json::from(w))),
+            ),
+        ]);
+        let mut fields = vec![
             ("tenants", Json::from(self.tenants)),
             ("shards", Json::from(self.shards as u64)),
             ("manager", Json::from(self.manager.as_str())),
@@ -475,7 +608,26 @@ impl ToJson for FleetReport {
                 "failures",
                 Json::array(acc.failures.iter().map(ToJson::to_json)),
             ),
-        ])
+            ("waste_attribution", attribution),
+            (
+                "bucket_mean_waste",
+                Json::array(self.bucket_mean_waste().into_iter().map(Json::from)),
+            ),
+            (
+                "bucket_tenants",
+                Json::array(acc.bucket_tenants.iter().map(|&t| Json::from(t))),
+            ),
+            (
+                "bucket_thm1",
+                Json::array(self.bucket_thm1.iter().map(|&f| Json::from(f))),
+            ),
+        ];
+        // The metric plane appears only when the run collected one, so
+        // metrics-off reports carry no dead key.
+        if let Some(metrics) = self.metrics() {
+            fields.push(("metrics", metrics.to_json()));
+        }
+        Json::object(fields)
     }
 }
 
@@ -507,6 +659,28 @@ impl fmt::Display for FleetReport {
             self.accumulator.words_placed,
             self.accumulator.words_moved
         )?;
+        writeln!(
+            f,
+            "waste attribution: {} external / {} ghost / {} internal words",
+            self.accumulator.kind_external.iter().sum::<u64>(),
+            self.accumulator.kind_ghost.iter().sum::<u64>(),
+            self.accumulator.kind_internal.iter().sum::<u64>()
+        )?;
+        writeln!(f, "measured waste vs Theorem 1 lower bound, per bucket:")?;
+        let means = self.bucket_mean_waste();
+        for (rank, &m) in self.size_buckets.iter().enumerate() {
+            let tenants = self.accumulator.bucket_tenants[rank];
+            if tenants == 0 {
+                continue;
+            }
+            let thm1 = self.bucket_thm1.get(rank).copied().unwrap_or(0.0);
+            let ratio = if thm1 > 0.0 { means[rank] / thm1 } else { 0.0 };
+            writeln!(
+                f,
+                "  M={m:>7}: mean {:.3}  thm1 {thm1:.3}  ratio {ratio:.3}  ({tenants} tenants)",
+                means[rank]
+            )?;
+        }
         // Fault-free fleets print exactly as they always did; the
         // quarantine section appears only when something failed.
         if self.accumulator.failed_tenants > 0 {
@@ -626,10 +800,31 @@ fn run_tenant(
 /// [`FleetError::Config`] for degenerate configurations (tenant panics
 /// and engine errors are quarantined into the report, not returned).
 pub fn run(cfg: &FleetConfig, run: &RunConfig) -> Result<FleetReport, FleetError> {
-    match drive(cfg, run, None)? {
+    match drive(cfg, run, None, None)? {
         FleetOutcome::Complete(report) => Ok(report),
         // Without checkpoint options there is no stop_after, so drive
         // always processes every shard.
+        FleetOutcome::Paused { .. } => unreachable!("uncheckpointed runs never pause"),
+    }
+}
+
+/// Like [`run`], with a live [`Heartbeat`] following `progress`: a
+/// periodic stderr line (tenants/sec, ETA, quarantine count, waste vs
+/// the Theorem 1 reference) and an optional JSONL stream. The heartbeat
+/// is a pure side channel — the returned report is byte-identical to
+/// [`run`]'s for the same configuration.
+///
+/// # Errors
+///
+/// As for [`run`], plus [`FleetError::Config`] when the progress stream
+/// file cannot be created or written.
+pub fn run_with_progress(
+    cfg: &FleetConfig,
+    run: &RunConfig,
+    progress: &ProgressOptions,
+) -> Result<FleetReport, FleetError> {
+    match drive(cfg, run, None, Some(progress))? {
+        FleetOutcome::Complete(report) => Ok(report),
         FleetOutcome::Paused { .. } => unreachable!("uncheckpointed runs never pause"),
     }
 }
@@ -650,7 +845,23 @@ pub fn run_checkpointed(
     run: &RunConfig,
     opts: &CheckpointOptions,
 ) -> Result<FleetOutcome, FleetError> {
-    drive(cfg, run, Some(opts))
+    drive(cfg, run, Some(opts), None)
+}
+
+/// [`run_checkpointed`] with a live [`Heartbeat`] (see
+/// [`run_with_progress`]).
+///
+/// # Errors
+///
+/// As for [`run_checkpointed`], plus [`FleetError::Config`] when the
+/// progress stream file cannot be created or written.
+pub fn run_checkpointed_with_progress(
+    cfg: &FleetConfig,
+    run: &RunConfig,
+    opts: &CheckpointOptions,
+    progress: &ProgressOptions,
+) -> Result<FleetOutcome, FleetError> {
+    drive(cfg, run, Some(opts), Some(progress))
 }
 
 /// The single driver behind [`run`] and [`run_checkpointed`]: processes
@@ -659,6 +870,7 @@ fn drive(
     cfg: &FleetConfig,
     run: &RunConfig,
     ckpt: Option<&CheckpointOptions>,
+    progress: Option<&ProgressOptions>,
 ) -> Result<FleetOutcome, FleetError> {
     let _span = pcb_telemetry::span!("fleet.run");
     if cfg.tenants == 0 {
@@ -667,6 +879,33 @@ fn drive(
     let mixer = WorkloadMixer::new(cfg.mixer).map_err(FleetError::Config)?;
     let kinds = mixer.kinds();
     let size_buckets = mixer.size_buckets();
+
+    // The Theorem 1 curve at each bucket's (M, log n, c) — the reference
+    // the measured per-bucket means are attributed against. Uses the
+    // mixer's per-tenant log_n clamp so the evaluated parameters are
+    // exactly the ones the bucket's tenants ran with.
+    let bucket_thm1: Vec<f64> = (0..size_buckets)
+        .map(|rank| {
+            let m = mixer.bucket_m(rank);
+            let log_n = cfg
+                .mixer
+                .log_n
+                .min((m.trailing_zeros()).saturating_sub(1))
+                .max(1);
+            Params::new(m, log_n, cfg.mixer.c)
+                .map(bounds::thm1::factor)
+                .unwrap_or(0.0)
+        })
+        .collect();
+    // Heartbeat reference: the bound at the largest bucket, the same
+    // normalization `pcb bench` uses for its fleet cells.
+    let thm1_ref = bucket_thm1.last().copied().unwrap_or(0.0);
+
+    let mut heartbeat = match progress {
+        Some(opts) => Heartbeat::new("fleet", opts)
+            .map_err(|e| FleetError::Config(format!("progress stream: {e}")))?,
+        None => Heartbeat::disabled("fleet"),
+    };
 
     // Contiguous, balanced shard ranges — a pure function of the config.
     let shards = cfg
@@ -695,12 +934,16 @@ fn drive(
         }
     }
 
-    // Without checkpointing there is one chunk: all shards at once.
+    // Without checkpointing there is one chunk: all shards at once —
+    // unless a live heartbeat wants intermediate boundaries to tick at,
+    // in which case the shards are processed in ~64 chunks. Chunking
+    // never changes the result: shards still merge in shard order.
     let (target, every) = match ckpt {
         Some(opts) => (
             opts.stop_after.map_or(shards, |s| s.min(shards)),
             opts.every.max(1),
         ),
+        None if heartbeat.active() => (shards, (shards / 64).max(1)),
         None => (shards, shards),
     };
 
@@ -713,8 +956,19 @@ fn drive(
                 for index in lo..hi {
                     let (spec, outcome) = run_tenant(&mixer, cfg.manager, run, index)?;
                     match outcome {
-                        Ok(summary) => acc.record(&spec, &summary),
-                        Err(cause) => acc.record_failure(spec.index, kinds[spec.kind], cause),
+                        Ok(summary) => {
+                            acc.record(&spec, &summary);
+                            if run.metrics {
+                                acc.record_metrics(kinds[spec.kind], &summary);
+                            }
+                        }
+                        Err(cause) => {
+                            if run.metrics {
+                                acc.metrics
+                                    .add_counter(format!("chaos.quarantined.{}", cause.name()), 1);
+                            }
+                            acc.record_failure(spec.index, kinds[spec.kind], cause);
+                        }
                     }
                 }
                 Ok(acc)
@@ -731,7 +985,30 @@ fn drive(
         if let Some(opts) = ckpt {
             checkpoint::save(cfg, run, opts, shards, done, resident, &merged)?;
         }
+        let attempted = merged.tenants + merged.failed_tenants;
+        let mean = if merged.tenants == 0 {
+            0.0
+        } else {
+            merged.waste_sum / merged.tenants as f64
+        };
+        heartbeat.tick(
+            attempted,
+            cfg.tenants,
+            &[
+                ("shards_done", Json::from(done as u64)),
+                ("quarantined", Json::from(merged.failed_tenants)),
+                ("resident_bytes", Json::from(resident)),
+                ("mean_waste", Json::from(mean)),
+                (
+                    "waste_vs_thm1",
+                    Json::from(if thm1_ref > 0.0 { mean / thm1_ref } else { 0.0 }),
+                ),
+            ],
+        );
     }
+    heartbeat
+        .finish()
+        .map_err(|e| FleetError::Config(format!("progress stream: {e}")))?;
 
     if done < shards {
         return Ok(FleetOutcome::Paused {
@@ -758,6 +1035,7 @@ fn drive(
         max_waste: merged.max_waste.max(0.0),
         max_tenant: merged.max_tenant,
         mean_waste,
+        bucket_thm1,
         resident_bytes: resident,
         accumulator: merged,
     }))

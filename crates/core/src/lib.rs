@@ -74,6 +74,7 @@ pub mod fleet;
 pub mod parallel;
 mod params;
 pub mod plot;
+pub mod progress;
 pub mod reproduce;
 pub mod sim;
 pub mod sweep;
@@ -86,6 +87,7 @@ pub use pcb_adversary as adversary;
 pub use pcb_alloc as alloc;
 pub use pcb_chaos as chaos;
 pub use pcb_heap as heap;
+pub use pcb_metrics as metrics;
 pub use pcb_telemetry as telemetry;
 pub use pcb_workload as workload;
 

@@ -47,6 +47,90 @@ fn report_bytes_identical_across_threads_and_substrates() {
     }
 }
 
+/// The metric plane obeys the same contract: with metrics on, the
+/// snapshot rides the accumulator (counter sums, gauge maxes, histogram
+/// buckets — integers only), so the whole report, `metrics` key
+/// included, stays byte-identical across thread counts and substrates.
+#[test]
+fn metrics_plane_identical_across_threads_and_substrates() {
+    let cfg = small_fleet();
+    let with_metrics = RunConfig::default().with_metrics(true);
+    let baseline_report = fleet::run(&cfg, &with_metrics).expect("fleet runs");
+    assert!(
+        baseline_report.metrics().is_some(),
+        "metrics-on run collects a snapshot"
+    );
+    let baseline = baseline_report.to_json().to_string();
+    assert!(
+        baseline.contains("\"metrics\""),
+        "snapshot embedded in JSON"
+    );
+    for substrate in Substrate::ALL {
+        for threads in [1usize, 2, 4] {
+            let run = with_metrics.with_threads(threads).with_substrate(substrate);
+            let report = fleet::run(&cfg, &run).expect("fleet runs");
+            assert_eq!(
+                report.to_json().to_string(),
+                baseline,
+                "threads={threads} substrate={substrate:?}"
+            );
+        }
+    }
+    // Metrics off: no snapshot, no JSON key, same tenant-derived numbers.
+    let off = fleet::run(&cfg, &RunConfig::default()).expect("fleet runs");
+    assert!(off.metrics().is_none());
+    assert!(!off.to_json().to_string().contains("\"metrics\""));
+    assert_eq!(
+        off.accumulator.words_placed, baseline_report.accumulator.words_placed,
+        "collection does not perturb the simulation"
+    );
+}
+
+/// The metric plane agrees with the accumulator it rode in on, and the
+/// attribution arrays line up with the Theorem 1 reference curve.
+#[test]
+fn attribution_counters_match_the_accumulator() {
+    let report =
+        fleet::run(&small_fleet(), &RunConfig::default().with_metrics(true)).expect("fleet runs");
+    let acc = &report.accumulator;
+    let metrics = report.metrics().expect("metrics collected");
+    assert_eq!(
+        metrics.counter("waste.external_words"),
+        acc.kind_external.iter().sum::<u64>()
+    );
+    assert_eq!(
+        metrics.counter("waste.ghost_words"),
+        acc.kind_ghost.iter().sum::<u64>()
+    );
+    assert_eq!(
+        metrics.counter("waste.internal_words"),
+        acc.kind_internal.iter().sum::<u64>()
+    );
+    assert_eq!(metrics.counter("fleet.words_placed"), acc.words_placed);
+    assert_eq!(metrics.counter("fleet.objects_placed"), acc.objects_placed);
+    let per_family: u64 = report
+        .kinds
+        .iter()
+        .map(|kind| metrics.counter(&format!("fleet.tenants.{kind}")))
+        .sum();
+    assert_eq!(per_family, acc.tenants, "every tenant counted once");
+    let waste_hist = metrics
+        .histogram("fleet.waste_milli")
+        .expect("waste histogram present");
+    assert_eq!(waste_hist.count(), acc.tenants);
+    // Attribution rows align with the bound curve: one Theorem 1 factor
+    // per size bucket (>= 1x M; exactly 1.0 only where the bound
+    // degenerates at minimal parameters), tenants fully partitioned.
+    assert_eq!(report.bucket_thm1.len(), report.size_buckets.len());
+    assert!(report.bucket_thm1.iter().all(|&f| f >= 1.0), "thm1 >= 1x M");
+    assert!(
+        report.bucket_thm1.last().is_some_and(|&f| f > 1.0),
+        "largest bucket has a non-trivial bound"
+    );
+    assert_eq!(acc.bucket_tenants.iter().sum::<u64>(), acc.tenants);
+    assert_eq!(report.bucket_mean_waste().len(), report.size_buckets.len());
+}
+
 /// Runs one tenant exactly the way `fleet::run` does, but standalone —
 /// the oracle side of the aggregation test.
 fn run_tenant_independently(cfg: &FleetConfig, index: u64) -> (usize, HeapSummary) {

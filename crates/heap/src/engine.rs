@@ -64,10 +64,24 @@ pub struct HeapSummary {
     pub words_placed: u64,
     /// Words moved in total.
     pub words_moved: u64,
+    /// Hole words inside the span when `HS` was reached (external
+    /// fragmentation; see [`Heap::external_waste`]).
+    pub external_waste: u64,
+    /// Words of moved-then-immediately-freed objects (the `P_F` ghost
+    /// discipline; see [`Heap::ghost_words`]).
+    pub ghost_words: u64,
+    /// Words the manager holds that no request can use (internal
+    /// fragmentation; see [`MemoryManager::internal_waste`]).
+    pub internal_waste: u64,
 }
 
 impl HeapSummary {
-    fn new<P: Program + ?Sized>(heap: &Heap, program: &P, rounds: u32) -> Self {
+    fn new<P: Program + ?Sized>(
+        heap: &Heap,
+        program: &P,
+        rounds: u32,
+        internal_waste: u64,
+    ) -> Self {
         let stats: HeapStats = heap.stats();
         let m = program.live_bound().get();
         HeapSummary {
@@ -87,6 +101,9 @@ impl HeapSummary {
             objects_moved: stats.objects_moved,
             words_placed: stats.words_placed,
             words_moved: stats.words_moved,
+            external_waste: heap.external_waste().get(),
+            ghost_words: heap.ghost_words().get(),
+            internal_waste,
         }
     }
 }
@@ -122,6 +139,14 @@ pub struct Report {
     pub words_placed: u64,
     /// Words moved in total.
     pub words_moved: u64,
+    /// Hole words inside the span when `HS` was reached (external
+    /// fragmentation).
+    pub external_waste: u64,
+    /// Words of moved-then-immediately-freed objects.
+    pub ghost_words: u64,
+    /// Words the manager holds that no request can use (internal
+    /// fragmentation).
+    pub internal_waste: u64,
 }
 
 impl Report {
@@ -131,7 +156,7 @@ impl Report {
         manager: &M,
         rounds: u32,
     ) -> Self {
-        let s = HeapSummary::new(heap, program, rounds);
+        let s = HeapSummary::new(heap, program, rounds, manager.internal_waste());
         Report {
             program: program.name().to_owned(),
             manager: manager.name().to_owned(),
@@ -147,6 +172,9 @@ impl Report {
             objects_moved: s.objects_moved,
             words_placed: s.words_placed,
             words_moved: s.words_moved,
+            external_waste: s.external_waste,
+            ghost_words: s.ghost_words,
+            internal_waste: s.internal_waste,
         }
     }
 }
@@ -169,6 +197,9 @@ impl pcb_json::ToJson for Report {
             ("objects_moved", Json::from(self.objects_moved)),
             ("words_placed", Json::from(self.words_placed)),
             ("words_moved", Json::from(self.words_moved)),
+            ("external_waste", Json::from(self.external_waste)),
+            ("ghost_words", Json::from(self.ghost_words)),
+            ("internal_waste", Json::from(self.internal_waste)),
         ])
     }
 }
@@ -329,6 +360,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             self.step_round_inner(None)?;
         }
         self.publish_substrate_counters();
+        self.publish_metrics();
         Ok(self.report())
     }
 
@@ -349,6 +381,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             self.step_round_inner(None)?;
         }
         self.publish_substrate_counters();
+        self.publish_metrics();
         Ok(self.summary())
     }
 
@@ -364,6 +397,7 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             self.step_round_inner(Some(observer))?;
         }
         self.publish_substrate_counters();
+        self.publish_metrics();
         Ok(self.report())
     }
 
@@ -387,6 +421,66 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
         }
     }
 
+    /// Publishes the run's totals into the `pcb-metrics` registry: engine
+    /// operation counts, the waste attribution triple, chaos injections,
+    /// and substrate scan counters. A single relaxed load while the
+    /// registry is disabled (the default). Values are exact integers
+    /// derived from the simulated run, so snapshots folded from them stay
+    /// byte-identical across thread counts.
+    fn publish_metrics(&self) {
+        if !pcb_metrics::enabled() {
+            return;
+        }
+        use pcb_metrics::{Counter, Gauge};
+        static OBJECTS_PLACED: Counter = Counter::new("engine.objects_placed");
+        static OBJECTS_FREED: Counter = Counter::new("engine.objects_freed");
+        static OBJECTS_MOVED: Counter = Counter::new("engine.objects_moved");
+        static WORDS_PLACED: Counter = Counter::new("engine.words_placed");
+        static WORDS_MOVED: Counter = Counter::new("engine.words_moved");
+        static ROUNDS: Counter = Counter::new("engine.rounds");
+        static HEAP_SIZE: Gauge = Gauge::new("engine.heap_size_words");
+        static PEAK_LIVE: Gauge = Gauge::new("engine.peak_live_words");
+        static EXTERNAL: Counter = Counter::new("waste.external_words");
+        static GHOST: Counter = Counter::new("waste.ghost_words");
+        static INTERNAL: Counter = Counter::new("waste.internal_words");
+        static REFUSALS: Counter = Counter::new("chaos.injected.alloc_refusals");
+        static CUTS: Counter = Counter::new("chaos.injected.budget_cuts");
+        static FLIPS: Counter = Counter::new("chaos.injected.mirror_faults");
+        static SCANNED: Gauge = Gauge::new("space.words_scanned");
+        static SKIPS: Gauge = Gauge::new("space.summary_skips");
+        static SLOT_HIGH: Gauge = Gauge::new("space.slot_high_water");
+        static REUSED: Gauge = Gauge::new("space.slots_reused");
+
+        let stats = self.heap.stats();
+        OBJECTS_PLACED.add(stats.objects_placed);
+        OBJECTS_FREED.add(stats.objects_freed);
+        OBJECTS_MOVED.add(stats.objects_moved);
+        WORDS_PLACED.add(stats.words_placed);
+        WORDS_MOVED.add(stats.words_moved);
+        ROUNDS.add(u64::from(self.round));
+        HEAP_SIZE.record_max(self.heap.heap_size().get());
+        PEAK_LIVE.record_max(self.heap.peak_live().get());
+        EXTERNAL.add(self.heap.external_waste().get());
+        GHOST.add(self.heap.ghost_words().get());
+        INTERNAL.add(self.manager.internal_waste());
+        if self.chaos_counters != ChaosCounters::default() {
+            REFUSALS.add(self.chaos_counters.alloc_refusals);
+            CUTS.add(self.chaos_counters.budget_cuts);
+            FLIPS.add(self.chaos_counters.mirror_faults);
+        }
+        if let Some(c) = self.heap.space().counters() {
+            SCANNED.record_max(c.words_scanned);
+            SKIPS.record_max(c.summary_skips);
+            SLOT_HIGH.record_max(c.slot_high_water);
+            REUSED.record_max(c.slots_reused);
+        }
+        // Manager-side counters collected this run share the same
+        // exposition path.
+        if let Some(sink) = &self.stats {
+            sink.publish();
+        }
+    }
+
     /// Produces a report of the execution so far.
     pub fn report(&self) -> Report {
         Report::new(&self.heap, &self.program, &self.manager, self.round)
@@ -395,7 +489,12 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
     /// Produces the allocation-free numeric summary of the execution so
     /// far (a [`Report`] minus the name strings).
     pub fn summary(&self) -> HeapSummary {
-        HeapSummary::new(&self.heap, &self.program, self.round)
+        HeapSummary::new(
+            &self.heap,
+            &self.program,
+            self.round,
+            self.manager.internal_waste(),
+        )
     }
 
     /// Executes one round: frees, then allocations.
@@ -658,6 +757,9 @@ mod tests {
         assert_eq!(summary.objects_moved, report.objects_moved);
         assert_eq!(summary.words_placed, report.words_placed);
         assert_eq!(summary.words_moved, report.words_moved);
+        assert_eq!(summary.external_waste, report.external_waste);
+        assert_eq!(summary.ghost_words, report.ghost_words);
+        assert_eq!(summary.internal_waste, report.internal_waste);
     }
 
     #[test]

@@ -156,6 +156,12 @@ pub struct Heap {
     min_used: Option<Addr>,
     /// Highest `end()` ever occupied.
     max_used_end: Addr,
+    /// Live words at the moment the span last grew: the complement of
+    /// the holes baked into `HS` (external fragmentation).
+    live_at_peak_span: Size,
+    /// Total words of objects freed immediately upon being moved (the
+    /// ghost objects of the paper's `P_F` discipline).
+    ghost_words: Size,
     round: u32,
     stats: HeapStats,
 }
@@ -193,6 +199,8 @@ impl Heap {
             peak_live: Size::ZERO,
             min_used: None,
             max_used_end: Addr::ZERO,
+            live_at_peak_span: Size::ZERO,
+            ghost_words: Size::ZERO,
             round: 0,
             stats: HeapStats::default(),
         }
@@ -338,11 +346,26 @@ impl Heap {
     }
 
     fn note_used(&mut self, extent: Extent) {
+        let span_before = self.heap_size();
         self.min_used = Some(match self.min_used {
             Some(lo) => lo.min(extent.start()),
             None => extent.start(),
         });
         self.max_used_end = self.max_used_end.max(extent.end());
+        // The span never shrinks, so any growth is a new peak: snapshot
+        // the live words so `external_waste` can report the holes that
+        // were baked into HS at the moment it was reached.
+        if self.heap_size() > span_before {
+            self.live_at_peak_span = self.live_words;
+        }
+    }
+
+    /// Charges `words` of ghost-object churn: an object that was freed
+    /// the moment the manager moved it (see
+    /// [`MoveResponse::FreeImmediately`](crate::MoveResponse)). Called by
+    /// the engine, not by managers.
+    pub(crate) fn note_ghost(&mut self, words: Size) {
+        self.ghost_words += words;
     }
 
     /// The record of a live object.
@@ -382,6 +405,25 @@ impl Heap {
             Some(lo) => self.max_used_end.offset_from(lo),
             None => Size::ZERO,
         }
+    }
+
+    /// External fragmentation realized in `HS`: the hole words that were
+    /// inside the used span at the moment it last grew
+    /// (`heap_size() - live-words-at-that-moment`). These are the words
+    /// the manager could not fill and the span had to grow past.
+    pub fn external_waste(&self) -> Size {
+        Size::new(
+            self.heap_size()
+                .get()
+                .saturating_sub(self.live_at_peak_span.get()),
+        )
+    }
+
+    /// Total words of moved-then-immediately-freed objects — the ghost
+    /// objects with which a `P_F` program converts compaction work into
+    /// pure waste (Section 5 of the paper).
+    pub fn ghost_words(&self) -> Size {
+        self.ghost_words
     }
 
     /// The compaction-budget ledger.

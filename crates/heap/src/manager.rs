@@ -127,6 +127,9 @@ impl HeapOps<'_, '_> {
                     .heap
                     .free(id)
                     .expect("object was just relocated, so it is live");
+                // Budget spent moving an object that died on arrival:
+                // charge it to the ghost-words attribution bucket.
+                self.heap.note_ghost(size);
                 self.emit(Event::Freed { id, addr, size });
                 Ok(MoveOutcome::Discarded)
             }
@@ -244,6 +247,14 @@ pub trait MemoryManager {
         let _ = (roll, space);
         false
     }
+
+    /// Words the manager is currently holding that no object occupies
+    /// and no other request can use — internal fragmentation (for page
+    /// managers, the unusable tails of open pages). Default 0 for
+    /// managers that hand out exact fits.
+    fn internal_waste(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed-manager forwarding so `Box<dyn MemoryManager>` is itself a manager
@@ -279,6 +290,10 @@ impl MemoryManager for Box<dyn MemoryManager> {
 
     fn inject_mirror_fault(&mut self, roll: u64, space: &SpaceMap) -> bool {
         (**self).inject_mirror_fault(roll, space)
+    }
+
+    fn internal_waste(&self) -> u64 {
+        (**self).internal_waste()
     }
 }
 

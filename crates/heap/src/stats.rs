@@ -6,215 +6,12 @@
 //! observable without changing a single placement decision. When no sink
 //! is attached the reporting calls are no-ops, preserving the engine's
 //! zero-cost-when-detached guarantee.
+//!
+//! The types themselves now live in `pcb-metrics`, where [`StatSink`] is
+//! a thin adapter over the workspace-wide sharded registry
+//! ([`StatSink::publish`](pcb_metrics::StatSink::publish) folds a
+//! finished sink into it); this module re-exports them so every existing
+//! `pcb_heap::{Histogram, StatSink}` call site keeps compiling
+//! unchanged.
 
-use std::collections::BTreeMap;
-
-use pcb_json::{Json, ToJson};
-
-/// A power-of-two histogram of `u64` samples.
-///
-/// Bucket 0 counts the value 0; bucket `k >= 1` counts values in
-/// `[2^(k-1), 2^k)`. Sixty-five buckets therefore cover the full `u64`
-/// range, which suits word sizes and probe counts (both heavy-tailed).
-///
-/// ```
-/// use pcb_heap::Histogram;
-/// let mut h = Histogram::new();
-/// h.record(1);
-/// h.record(3);
-/// h.record(3);
-/// assert_eq!(h.count(), 3);
-/// assert_eq!(h.sum(), 7);
-/// assert_eq!(h.bucket_counts()[2], 2); // [2, 4) holds both 3s
-/// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: BTreeMap<u32, u64>,
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds one sample.
-    pub fn record(&mut self, value: u64) {
-        *self.buckets.entry(Self::bucket_of(value)).or_default() += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.max = self.max.max(value);
-    }
-
-    fn bucket_of(value: u64) -> u32 {
-        match value {
-            0 => 0,
-            v => 64 - v.leading_zeros(),
-        }
-    }
-
-    /// Total number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all samples (saturating).
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Largest sample seen (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean sample, or 0.0 when empty.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Dense per-bucket counts from bucket 0 through the highest
-    /// non-empty bucket (empty vector when no samples).
-    pub fn bucket_counts(&self) -> Vec<u64> {
-        let hi = match self.buckets.keys().next_back() {
-            Some(&hi) => hi,
-            None => return Vec::new(),
-        };
-        (0..=hi)
-            .map(|b| self.buckets.get(&b).copied().unwrap_or(0))
-            .collect()
-    }
-}
-
-impl ToJson for Histogram {
-    fn to_json(&self) -> Json {
-        Json::object([
-            ("count", Json::from(self.count)),
-            ("sum", Json::from(self.sum)),
-            ("max", Json::from(self.max)),
-            ("mean", Json::from(self.mean())),
-            (
-                "buckets",
-                Json::array(self.bucket_counts().into_iter().map(Json::from)),
-            ),
-        ])
-    }
-}
-
-/// A named bag of counters and histograms filled in by the manager.
-///
-/// Keys are `&'static str` so the reporting hot path allocates nothing;
-/// the convention is `"<manager-area>.<metric>"` (for example
-/// `"freelist.probes"` or `"pages.evictions"`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct StatSink {
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
-}
-
-impl StatSink {
-    /// Creates an empty sink.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds `delta` to the named counter.
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_default() += delta;
-    }
-
-    /// Records one sample into the named histogram.
-    pub fn record(&mut self, name: &'static str, value: u64) {
-        self.histograms.entry(name).or_default().record(value);
-    }
-
-    /// The named counter's value (0 when never touched).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
-    }
-
-    /// The named histogram, if any sample was recorded.
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
-    }
-
-    /// All counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
-    }
-
-    /// Whether nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
-    }
-}
-
-impl ToJson for StatSink {
-    fn to_json(&self) -> Json {
-        let counters = self
-            .counters
-            .iter()
-            .map(|(&name, &v)| (name, Json::from(v)));
-        let histograms = self.histograms.iter().map(|(&name, h)| (name, h.to_json()));
-        Json::object([
-            ("counters", Json::object(counters)),
-            ("histograms", Json::object(histograms)),
-        ])
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn histogram_buckets_are_powers_of_two() {
-        let mut h = Histogram::new();
-        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 8);
-        assert_eq!(h.sum(), 1025);
-        assert_eq!(h.max(), 1000);
-        let buckets = h.bucket_counts();
-        assert_eq!(buckets[0], 1); // {0}
-        assert_eq!(buckets[1], 1); // [1,2)
-        assert_eq!(buckets[2], 2); // [2,4)
-        assert_eq!(buckets[3], 2); // [4,8)
-        assert_eq!(buckets[4], 1); // [8,16)
-        assert_eq!(buckets[10], 1); // [512,1024)
-        assert!((h.mean() - 1025.0 / 8.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_histogram_is_well_behaved() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert!(h.bucket_counts().is_empty());
-    }
-
-    #[test]
-    fn sink_accumulates_and_serializes() {
-        let mut s = StatSink::new();
-        assert!(s.is_empty());
-        s.add("freelist.probes", 3);
-        s.add("freelist.probes", 2);
-        s.record("alloc.size", 8);
-        assert_eq!(s.counter("freelist.probes"), 5);
-        assert_eq!(s.counter("unknown"), 0);
-        assert_eq!(s.histogram("alloc.size").unwrap().count(), 1);
-        assert!(s.histogram("unknown").is_none());
-        let json = s.to_json().to_string();
-        assert!(json.contains("freelist.probes"));
-        assert!(json.contains("\"counters\""));
-        assert_eq!(s.counters().count(), 1);
-    }
-}
+pub use pcb_metrics::{Histogram, StatSink};

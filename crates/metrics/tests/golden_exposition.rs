@@ -1,0 +1,35 @@
+//! Pins the Prometheus text exposition format to a checked-in golden
+//! file. Scrape endpoints are an external contract: a formatting drift
+//! (bucket bounds, name mangling, HELP/TYPE comments, ordering) breaks
+//! downstream dashboards silently, so any intentional change must show
+//! up as a diff to `tests/golden/exposition.prom`.
+
+use pcb_metrics::MetricsSnapshot;
+
+/// A fixed snapshot exercising every exposition feature: counters and
+/// gauges (sorted name order), a histogram with entries in bucket 0,
+/// a mid bucket, and the overflow bucket, plus a name needing
+/// character mangling.
+fn golden_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    snap.add_counter("engine.objects_placed", 1234);
+    snap.add_counter("waste.ghost_words", 88);
+    snap.record_gauge_max("fleet.max_waste_milli", 3150);
+    snap.record_gauge_max("exhaustive.frontier-states", 42); // '-' mangles to '_'
+    snap.observe("fleet.heap_size_words", 0); // bucket 0: value == 0
+    snap.observe("fleet.heap_size_words", 1); // bucket 1: [1, 1]
+    snap.observe("fleet.heap_size_words", 700); // bucket 10: [512, 1023]
+    snap.observe("fleet.heap_size_words", u64::MAX); // overflow bucket 64
+    snap
+}
+
+#[test]
+fn prometheus_exposition_matches_the_golden_file() {
+    let expected = include_str!("golden/exposition.prom");
+    let actual = golden_snapshot().to_prometheus();
+    assert_eq!(
+        actual, expected,
+        "exposition format drifted; if intentional, regenerate \
+         tests/golden/exposition.prom from `golden_snapshot()`"
+    );
+}

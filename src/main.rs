@@ -25,6 +25,11 @@
 //! --profile                                    print the span profile table
 //! --substrate bitmap|reference                 occupancy substrate (cross-
 //!                                              check against the oracle)
+//! --progress[=secs]                            heartbeat on stderr
+//! --progress-out <file.jsonl>                  heartbeat JSONL stream
+//! --metrics                                    collect the metric plane
+//! --metrics-out <file>                         write it (Prometheus text,
+//!                                              or pcb-json for .json)
 //! ```
 //!
 //! `bench diff` compares a fresh benchmark artifact against a checked-in
@@ -39,12 +44,14 @@
 use std::process::ExitCode;
 
 use partial_compaction::heap::{heat_map_rows, Execution, Heap, Program, TraceRecorder};
+use partial_compaction::progress::{Heartbeat, ProgressMode, ProgressOptions};
 use partial_compaction::workload::{tenant_by_kind, MixWeights, TenantShape};
 use partial_compaction::{
-    benchdiff, bounds, figures, fleet, telemetry, ManagerKind, Params, PfConfig, PfProgram,
+    benchdiff, bounds, figures, fleet, metrics, telemetry, ManagerKind, Params, PfConfig, PfProgram,
 };
 use partial_compaction::{Observers, RunConfig, Substrate, TimeSeries, TraceWriter};
 use partial_compaction::{PfVariant, RobsonProgram};
+use pcb_json::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +107,8 @@ usage:
                [--series <file>] [--every <k>] [--stats]
                [--substrate bitmap|reference]
                [--chaos <spec>] [--paranoia <k>]
+               [--progress[=secs]] [--progress-out <file.jsonl>]
+               [--metrics] [--metrics-out <file>]
   pcb record <file.json|file.jsonl> [simulate options]
   pcb replay <file.json|file.jsonl>
   pcb fleet [--tenants <n>] [--shards <n>] [--manager <name>]
@@ -110,6 +119,9 @@ usage:
             [--chaos <spec>] [--paranoia <k>]
             [--checkpoint <file>] [--checkpoint-every <shards>]
             [--resume] [--stop-after <shards>]
+            [--progress[=secs]] [--no-progress]
+            [--progress-out <file.jsonl>]
+            [--metrics] [--metrics-out <file>]
   pcb bench diff <new.json> --against <baseline.json> [--tolerance <pct>]
   pcb sweep <bound> c <M_words> <log2_n> <c_from> <c_to>
   pcb sweep <bound> n <M_over_n> <c> <logn_from> <logn_to>
@@ -118,13 +130,62 @@ usage:
                  [--max-states <n>] [--threads <n>]
                  [--checkpoint <file>] [--checkpoint-every <levels>]
                  [--resume] [--stop-after <levels>]
+                 [--progress[=secs]] [--progress-out <file.jsonl>]
+                 [--metrics] [--metrics-out <file>]
   pcb reproduce
     (--chaos spec: seed=<s>,<site>=<rate_ppm>,... with sites
      alloc-refusal budget-cut mirror-flip trace-io tenant-panic;
      --paranoia k cross-checks manager mirrors every k rounds)
+    (--progress: heartbeat to stderr; fleet defaults to on when stderr
+     is a terminal, off when piped; --no-progress forces off;
+     --progress-out streams one JSON object per pulse)
+    (--metrics-out: Prometheus text, or pcb-json when the path
+     ends in .json; implies --metrics)
     (bounds: thm1-lower thm2-upper robson-p2 robson-doubled
              bp11-upper bp11-lower)
 ";
+
+/// Parses one flag of the shared `--progress` family into `opts`.
+/// Returns `Ok(true)` when the flag was consumed, `Ok(false)` when it
+/// belongs to someone else.
+fn parse_progress_flag(
+    flag: &str,
+    value: &mut dyn FnMut(&str) -> Result<String, String>,
+    opts: &mut ProgressOptions,
+) -> Result<bool, String> {
+    match flag {
+        "--progress" => opts.mode = ProgressMode::Every(2.0),
+        "--no-progress" => opts.mode = ProgressMode::Off,
+        "--progress-out" => opts.stream = Some(value("--progress-out")?.into()),
+        f if f.starts_with("--progress=") => {
+            let secs: f64 = f["--progress=".len()..]
+                .parse()
+                .map_err(|e| format!("--progress: {e}"))?;
+            opts.mode = ProgressMode::Every(secs);
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Writes a metrics snapshot to `path`: pcb-json when the path ends in
+/// `.json`, Prometheus text exposition (0.0.4) otherwise. The summary
+/// line goes to stderr so stdout stays report-only.
+fn write_metrics(path: &str, snap: &metrics::MetricsSnapshot) -> Result<(), String> {
+    let out = if path.ends_with(".json") {
+        format!("{}\n", pcb_json::ToJson::to_json(snap))
+    } else {
+        snap.to_prometheus()
+    };
+    std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "metrics: {} counters / {} gauges / {} histograms -> {path}",
+        snap.counters().count(),
+        snap.gauges().count(),
+        snap.histograms().count()
+    );
+    Ok(())
+}
 
 fn cmd_bounds(args: &[String]) -> Result<(), String> {
     let [m, log_n, c] = args else {
@@ -240,6 +301,9 @@ struct SimOpts {
     allocs: Option<usize>,
     chaos: Option<partial_compaction::FaultPlan>,
     paranoia: u32,
+    metrics: bool,
+    metrics_out: Option<String>,
+    progress: ProgressOptions,
 }
 
 fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
@@ -261,6 +325,14 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
         allocs: None,
         chaos: None,
         paranoia: 0,
+        metrics: false,
+        metrics_out: None,
+        // Off (not Auto) for single runs: a simulate is usually over in
+        // well under one heartbeat cadence; `--progress` opts in.
+        progress: ProgressOptions {
+            mode: ProgressMode::Off,
+            stream: None,
+        },
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -325,10 +397,40 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
                     .parse()
                     .map_err(|e| format!("--paranoia: {e}"))?
             }
+            "--metrics" => opts.metrics = true,
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            flag if parse_progress_flag(flag, &mut value, &mut opts.progress)? => {}
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(opts)
+}
+
+/// Per-round heartbeat adapter: rides the observer bus and ticks the
+/// [`Heartbeat`] at round boundaries. Pure side channel — it reads the
+/// heap, never touches it.
+struct ProgressObserver {
+    heartbeat: Heartbeat,
+}
+
+impl partial_compaction::heap::Observer for ProgressObserver {
+    fn on_event(
+        &mut self,
+        _tick: partial_compaction::heap::Tick,
+        _event: &partial_compaction::heap::Event,
+    ) {
+    }
+
+    fn on_round_end(&mut self, round: u32, heap: &Heap) {
+        self.heartbeat.tick(
+            u64::from(round) + 1,
+            0,
+            &[
+                ("heap_size_words", Json::from(heap.heap_size().get())),
+                ("peak_live_words", Json::from(heap.peak_live().get())),
+            ],
+        );
+    }
 }
 
 fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String> {
@@ -345,6 +447,9 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
         run = run.with_chaos(chaos);
     }
     run = run.with_paranoia(opts.paranoia);
+    if opts.metrics || opts.metrics_out.is_some() {
+        run = run.with_metrics(true);
+    }
     run.apply();
 
     let heap = if opts.manager.is_unbounded() {
@@ -429,7 +534,19 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
         }
     }
 
-    let report = if series.is_some() || recorder.is_some() || writer.is_some() {
+    let mut progress_observer = match opts.progress.cadence() {
+        Some(_) => Some(ProgressObserver {
+            heartbeat: Heartbeat::new("simulate", &opts.progress)
+                .map_err(|e| format!("progress stream: {e}"))?,
+        }),
+        None => None,
+    };
+
+    let report = if series.is_some()
+        || recorder.is_some()
+        || writer.is_some()
+        || progress_observer.is_some()
+    {
         let mut bus = Observers::new();
         if let Some(s) = series.as_mut() {
             bus.attach(s);
@@ -440,10 +557,19 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
         if let Some(w) = writer.as_mut() {
             bus.attach(w);
         }
+        if let Some(p) = progress_observer.as_mut() {
+            bus.attach(p);
+        }
         exec.run_observed(&mut bus).map_err(|e| e.to_string())?
     } else {
         exec.run().map_err(|e| e.to_string())?
     };
+    if let Some(observer) = progress_observer {
+        observer
+            .heartbeat
+            .finish()
+            .map_err(|e| format!("progress stream: {e}"))?;
+    }
 
     if let (Some(recorder), Some(path)) = (recorder, &record_to) {
         let trace = recorder.into_trace();
@@ -483,6 +609,9 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     if let Some(stats) = exec.take_stats() {
         println!("stats: {}", pcb_json::ToJson::to_json(&stats));
     }
+    if let Some(path) = &opts.metrics_out {
+        write_metrics(path, &metrics::snapshot())?;
+    }
     if opts.map {
         println!("{}", heat_map_rows(exec.heap(), 72, 4));
     }
@@ -513,6 +642,11 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let mut checkpoint_every = 16usize;
     let mut resume = false;
     let mut stop_after: Option<usize> = None;
+    // Default `Auto`: heartbeat on when stderr is a terminal (a human is
+    // watching the run), off when piped — either way the report bytes
+    // are identical.
+    let mut progress = ProgressOptions::default();
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -624,6 +758,13 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
                 )
             }
             "--json" => json = true,
+            "--metrics" => run = run.with_metrics(true),
+            "--metrics-out" => {
+                metrics_out = Some(value("--metrics-out")?);
+                // Asking for the artifact implies collecting it.
+                run = run.with_metrics(true);
+            }
+            flag if parse_progress_flag(flag, &mut value, &mut progress)? => {}
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -638,7 +779,9 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
                 .every(checkpoint_every)
                 .resume(resume);
             opts.stop_after = stop_after;
-            match fleet::run_checkpointed(&cfg, &run, &opts).map_err(|e| e.to_string())? {
+            match fleet::run_checkpointed_with_progress(&cfg, &run, &opts, &progress)
+                .map_err(|e| e.to_string())?
+            {
                 fleet::FleetOutcome::Complete(report) => report,
                 fleet::FleetOutcome::Paused {
                     shards_done,
@@ -652,13 +795,16 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
                 }
             }
         }
-        None => fleet::run(&cfg, &run).map_err(|e| e.to_string())?,
+        None => fleet::run_with_progress(&cfg, &run, &progress).map_err(|e| e.to_string())?,
     };
     let elapsed = start.elapsed().as_secs_f64();
     if json {
         println!("{}", pcb_json::ToJson::to_json(&report));
     } else {
         print!("{report}");
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics(path, &report.accumulator.metrics)?;
     }
     // Wall-clock goes to stderr only: the report itself (stdout and JSON)
     // is byte-deterministic across thread counts and machines.
@@ -767,7 +913,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 
 fn cmd_worst_case(args: &[String]) -> Result<(), String> {
     use partial_compaction::exhaustive::{
-        try_worst_case_resumable, try_worst_case_with, SearchOutcome, SearchPolicy,
+        try_worst_case_observed, try_worst_case_resumable, SearchOutcome, SearchPolicy,
     };
     let mut positional: Vec<&String> = Vec::new();
     let mut max_states = 50_000_000usize;
@@ -776,6 +922,8 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
     let mut checkpoint_every = 1usize;
     let mut resume = false;
     let mut stop_after: Option<usize> = None;
+    let mut progress = ProgressOptions::default();
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -810,6 +958,12 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("--stop-after: {e}"))?,
                 )
             }
+            "--metrics" => run = run.with_metrics(true),
+            "--metrics-out" => {
+                metrics_out = Some(value("--metrics-out")?);
+                run = run.with_metrics(true);
+            }
+            flag if parse_progress_flag(flag, &mut value, &mut progress)? => {}
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(arg),
         }
@@ -845,6 +999,7 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
             "exhaustive search is toy-scale only (M <= 16, log n <= 3); got {params}"
         ));
     }
+    run.apply();
     let report = match &checkpoint {
         Some(path) => {
             let mut opts = fleet::CheckpointOptions::new(path)
@@ -864,9 +1019,32 @@ fn cmd_worst_case(args: &[String]) -> Result<(), String> {
                 }
             }
         }
-        None => try_worst_case_with(params, policy, max_states, &run)
-            .map_err(|e| format!("parameters not toy enough: {e}"))?,
+        None => {
+            let mut heartbeat = Heartbeat::new("worst-case", &progress)
+                .map_err(|e| format!("progress stream: {e}"))?;
+            // Total is unknown ahead of time (that is what the search
+            // computes), so `done` counts interned states with no ETA.
+            let report = try_worst_case_observed(params, policy, max_states, &run, |pulse| {
+                heartbeat.tick(
+                    pulse.seen_states as u64,
+                    0,
+                    &[
+                        ("levels", Json::from(pulse.levels as u64)),
+                        ("frontier_states", Json::from(pulse.frontier_states as u64)),
+                        ("resident_bytes", Json::from(pulse.resident_bytes)),
+                    ],
+                );
+            })
+            .map_err(|e| format!("parameters not toy enough: {e}"))?;
+            heartbeat
+                .finish()
+                .map_err(|e| format!("progress stream: {e}"))?;
+            report
+        }
     };
+    if let Some(path) = &metrics_out {
+        write_metrics(path, &metrics::snapshot())?;
+    }
     println!(
         "true worst case for {} at M={}, n={}: HS = {} words ({} reachable states)",
         policy.name(),

@@ -435,3 +435,162 @@ fn simulate_trace_out_emits_chrome_trace_events() {
     assert!(events.iter().any(|e| phase_of(e) == "X"));
     std::fs::remove_file(path).ok();
 }
+
+/// The heartbeat is a pure side channel: enabling it (even at maximum
+/// cadence, with a JSONL stream attached) changes nothing on stdout.
+#[test]
+fn fleet_heartbeat_is_a_pure_side_channel() {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let pulses = dir.join("fleet-pulses.jsonl");
+    let pulses_str = pulses.to_str().unwrap();
+    std::fs::remove_file(&pulses).ok();
+    let base = [
+        "fleet",
+        "--tenants",
+        "64",
+        "--shards",
+        "8",
+        "--m-min",
+        "128",
+        "--m-max",
+        "1024",
+        "--json",
+    ];
+    let mut loud: Vec<&str> = base.to_vec();
+    loud.extend(["--progress=0", "--progress-out", pulses_str]);
+    let (loud_out, loud_err, ok) = pcb(&loud);
+    assert!(ok, "{loud_err}");
+    assert!(loud_err.contains("[pcb fleet]"), "{loud_err}");
+    let mut quiet: Vec<&str> = base.to_vec();
+    quiet.push("--no-progress");
+    let (quiet_out, _, ok) = pcb(&quiet);
+    assert!(ok);
+    assert_eq!(loud_out, quiet_out, "heartbeat leaked into the report");
+
+    // Every streamed pulse is one self-contained JSON object.
+    let stream = std::fs::read_to_string(&pulses).unwrap();
+    assert!(!stream.is_empty(), "stream file never written");
+    for line in stream.lines() {
+        let pulse = pcb_json::Json::parse(line).expect("pulse is valid JSON");
+        let pcb_json::Json::Object(fields) = &pulse else {
+            panic!("pulse must be an object: {line}")
+        };
+        assert_eq!(
+            fields.get("label"),
+            Some(&pcb_json::Json::Str("fleet".into())),
+            "{line}"
+        );
+        assert!(fields.contains_key("done"), "{line}");
+        assert!(fields.contains_key("waste_vs_thm1"), "{line}");
+    }
+    std::fs::remove_file(pulses).ok();
+}
+
+/// Checks one Prometheus text-format line: either a `# HELP`/`# TYPE`
+/// comment or a `name[{le="..."}] value` sample with a legal metric name.
+fn assert_prometheus_line(line: &str) {
+    if let Some(rest) = line.strip_prefix("# ") {
+        let mut words = rest.split_whitespace();
+        let keyword = words.next().unwrap_or("");
+        assert!(
+            keyword == "HELP" || keyword == "TYPE",
+            "unknown comment: {line}"
+        );
+        let name = words.next().expect("comment names a metric");
+        assert!(name.starts_with("pcb_"), "unprefixed metric: {line}");
+        return;
+    }
+    let (series, value) = line.rsplit_once(' ').expect("`name value` sample");
+    let name = series.split('{').next().unwrap();
+    assert!(name.starts_with("pcb_"), "unprefixed metric: {line}");
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "illegal metric name: {line}"
+    );
+    if let Some((_, labels)) = series.split_once('{') {
+        let labels = labels.strip_suffix('}').expect("closed label set");
+        let (key, le) = labels.split_once('=').expect("le=\"...\" label");
+        assert_eq!(key, "le", "only histogram bounds are labelled: {line}");
+        assert!(le.starts_with('"') && le.ends_with('"'), "{line}");
+    }
+    assert!(
+        value == "+Inf" || value.parse::<f64>().is_ok(),
+        "unparseable sample value: {line}"
+    );
+}
+
+/// `--metrics-out` writes the Prometheus exposition format (or pcb-json
+/// with a `.json` suffix), and the JSON flavour is byte-for-byte the
+/// `metrics` object embedded in the report.
+#[test]
+fn fleet_metrics_out_is_valid_prometheus_and_matches_the_report() {
+    let dir = std::env::temp_dir().join("pcb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prom = dir.join("fleet-metrics.prom");
+    let json = dir.join("fleet-metrics.json");
+    std::fs::remove_file(&prom).ok();
+    std::fs::remove_file(&json).ok();
+    let base = [
+        "fleet",
+        "--tenants",
+        "64",
+        "--shards",
+        "8",
+        "--m-min",
+        "128",
+        "--m-max",
+        "1024",
+        "--json",
+    ];
+
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--metrics-out", prom.to_str().unwrap()]);
+    let (_, stderr, ok) = pcb(&args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("metrics:"), "{stderr}");
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        text.contains("# TYPE pcb_fleet_words_placed counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# TYPE pcb_fleet_waste_milli histogram"),
+        "{text}"
+    );
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+    for line in text.lines() {
+        assert_prometheus_line(line);
+    }
+
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--metrics-out", json.to_str().unwrap()]);
+    let (stdout, _, ok) = pcb(&args);
+    assert!(ok);
+    let file = pcb_json::Json::parse(&std::fs::read_to_string(&json).unwrap())
+        .expect("metrics file is valid JSON");
+    let report = pcb_json::Json::parse(&stdout).expect("report is valid JSON");
+    let pcb_json::Json::Object(report) = &report else {
+        panic!("report must be an object")
+    };
+    let embedded = report
+        .get("metrics")
+        .expect("--metrics-out implies --metrics");
+    assert_eq!(&file, embedded, "sidecar file disagrees with the report");
+    std::fs::remove_file(prom).ok();
+    std::fs::remove_file(json).ok();
+}
+
+/// `worst-case --progress` streams BFS frontier pulses on stderr without
+/// touching the verdict on stdout.
+#[test]
+fn worst_case_progress_reports_frontier_levels() {
+    let (plain, _, ok) = pcb(&["worst-case", "6", "1"]);
+    assert!(ok);
+    let (loud, stderr, ok) = pcb(&["worst-case", "6", "1", "--progress=0"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(plain, loud, "heartbeat leaked into the verdict");
+    assert!(stderr.contains("[pcb worst-case]"), "{stderr}");
+    assert!(stderr.contains("frontier_states"), "{stderr}");
+}
