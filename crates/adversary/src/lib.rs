@@ -50,8 +50,12 @@ mod robson_program;
 
 pub use association::{Association, Entry};
 pub use math::{
-    optimal_rho, rho_feasible, stage1_alloc_fraction, stage2_alloc_fraction, waste_factor,
+    optimal_rho, optimal_rho_memo, rho_feasible, stage1_alloc_fraction, stage2_alloc_fraction,
+    waste_factor,
 };
-pub use occupancy::{choose_offset, first_occupying_word, is_f_occupying, offset_score};
+pub use occupancy::{
+    choose_offset, first_occupying_word, is_f_occupying, offset_contribution, offset_score,
+    OffsetTracker,
+};
 pub use pf::{PfConfig, PfProgram, PfVariant};
 pub use robson_program::{RobsonProgram, StepSummary};

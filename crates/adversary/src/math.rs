@@ -91,6 +91,31 @@ pub fn optimal_rho(m: u64, log_n: u32, c: u64) -> Option<(u32, f64)> {
         .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
+type RhoMemo = std::collections::HashMap<(u64, u32, u64), Option<(u32, f64)>>;
+
+std::thread_local! {
+    /// Per-thread memo for [`optimal_rho`]: fleet shards instantiate
+    /// thousands of tenants that share a handful of `(M, log n, c)`
+    /// shapes, so each shard computes every distinct feasibility search
+    /// once. Thread-local (rather than a shared lock) keeps shard
+    /// execution contention-free and the cache drops with the thread.
+    static RHO_MEMO: std::cell::RefCell<RhoMemo> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Memoized [`optimal_rho`]: identical result (the search is a pure
+/// function of its arguments), cached per thread under the `(m, log_n, c)`
+/// key. Use on hot paths that build many [`PfConfig`](crate::PfConfig)s
+/// with repeated parameter shapes.
+pub fn optimal_rho_memo(m: u64, log_n: u32, c: u64) -> Option<(u32, f64)> {
+    RHO_MEMO.with(|memo| {
+        *memo
+            .borrow_mut()
+            .entry((m, log_n, c))
+            .or_insert_with(|| optimal_rho(m, log_n, c))
+    })
+}
+
 /// The stage-II allocation fraction `x = (1 − 2^{−ρ}·h)/(ρ+1)` computed at
 /// the top of Algorithm 1 (clamped at 0: a non-positive `x` means the
 /// theorem's bound already exceeds what stage II could add).
@@ -182,6 +207,16 @@ mod tests {
         for pair in hs.windows(2) {
             assert!(pair[0] < pair[1], "h must increase with n: {hs:?}");
         }
+    }
+
+    #[test]
+    fn memoized_rho_matches_direct() {
+        for c in [10u64, 50, 100] {
+            assert_eq!(optimal_rho_memo(M, LOG_N, c), optimal_rho(M, LOG_N, c));
+            // Second call hits the cache and must agree.
+            assert_eq!(optimal_rho_memo(M, LOG_N, c), optimal_rho(M, LOG_N, c));
+        }
+        assert_eq!(optimal_rho_memo(M, 3, 100), None);
     }
 
     #[test]

@@ -75,6 +75,107 @@ where
     }
 }
 
+/// One object's contribution to [`offset_score`]: `2^i − |o|` if the
+/// object is `f`-occupying, zero otherwise.
+pub fn offset_contribution(addr: Addr, size: Size, f: u64, i: u32) -> i128 {
+    if is_f_occupying(addr, size, f, i) {
+        (1i128 << i) - size.get() as i128
+    } else {
+        0
+    }
+}
+
+/// Incremental form of [`choose_offset`]: maintains the two candidate
+/// scores for the *upcoming* step as objects enter and leave the
+/// inventory, so the per-step choice costs O(1) instead of two full
+/// passes over the live set.
+///
+/// After choosing `f_i` at step `i`, the step-`i+1` candidates are known
+/// (`f_i` and `f_i + 2^i`), so their scores can be accumulated while the
+/// step-`i` survivors are enumerated and as later allocations arrive.
+/// Integer addition is exact and commutative, so the incrementally
+/// maintained scores are bit-identical to the batch computation.
+///
+/// ```
+/// use pcb_adversary::{choose_offset, OffsetTracker};
+/// use pcb_heap::{Addr, Size};
+/// let objs = vec![(Addr::new(1), Size::new(1)), (Addr::new(3), Size::new(1))];
+/// let mut t = OffsetTracker::new();
+/// for &(a, s) in &objs {
+///     t.add(a, s);
+/// }
+/// assert_eq!(t.choose(), choose_offset(objs, 0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OffsetTracker {
+    /// The step whose offset will be chosen next.
+    step: u32,
+    /// Candidate `f = f_{i−1}` (keep) and its score.
+    keep: u64,
+    score_keep: i128,
+    /// Candidate `f = f_{i−1} + 2^{i−1}` (flip) and its score.
+    flip: u64,
+    score_flip: i128,
+}
+
+impl Default for OffsetTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OffsetTracker {
+    /// A tracker ready for step 1 with `f_0 = 0` (candidates 0 and 1).
+    pub fn new() -> Self {
+        OffsetTracker {
+            step: 1,
+            keep: 0,
+            score_keep: 0,
+            flip: 1,
+            score_flip: 0,
+        }
+    }
+
+    /// The step whose offset [`choose`](Self::choose) will produce.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Accounts for an object entering the inventory.
+    pub fn add(&mut self, addr: Addr, size: Size) {
+        self.score_keep += offset_contribution(addr, size, self.keep, self.step);
+        self.score_flip += offset_contribution(addr, size, self.flip, self.step);
+    }
+
+    /// Accounts for an object leaving the inventory.
+    pub fn remove(&mut self, addr: Addr, size: Size) {
+        self.score_keep -= offset_contribution(addr, size, self.keep, self.step);
+        self.score_flip -= offset_contribution(addr, size, self.flip, self.step);
+    }
+
+    /// The winning offset for the current step (ties keep the previous
+    /// offset, exactly as [`choose_offset`]).
+    pub fn choose(&self) -> u64 {
+        if self.score_flip > self.score_keep {
+            self.flip
+        } else {
+            self.keep
+        }
+    }
+
+    /// Resets the tracker for `next_step` after `f` was chosen; the caller
+    /// re-[`add`](Self::add)s the surviving inventory (typically folded
+    /// into the pass that enumerates survivors anyway).
+    pub fn advance(&mut self, f: u64, next_step: u32) {
+        debug_assert!(next_step > self.step);
+        self.step = next_step;
+        self.keep = f;
+        self.flip = f + (1u64 << (next_step - 1));
+        self.score_keep = 0;
+        self.score_flip = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +252,56 @@ mod tests {
     fn ties_keep_previous_offset() {
         let objs = vec![(Addr::new(0), Size::new(1)), (Addr::new(1), Size::new(1))];
         assert_eq!(choose_offset(objs, 0, 1), 0);
+    }
+
+    #[test]
+    fn tracker_matches_batch_choice_across_steps() {
+        // Drive a multi-step churn script through both the batch rule and
+        // the incremental tracker; the chosen offsets must agree exactly
+        // (including ties) at every step.
+        let mut objects: Vec<(Addr, Size)> = Vec::new();
+        let mut tracker = OffsetTracker::new();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        // Initial fill.
+        for k in 0..200u64 {
+            let obj = (Addr::new(k), Size::new(1));
+            objects.push(obj);
+            tracker.add(obj.0, obj.1);
+        }
+        let mut f = 0u64;
+        for i in 1..=6u32 {
+            assert_eq!(tracker.step(), i);
+            let batch = choose_offset(objects.clone(), f, i);
+            assert_eq!(tracker.choose(), batch, "step {i}");
+            f = batch;
+            // Free the non-occupying, re-seed the tracker from survivors.
+            objects.retain(|&(a, s)| is_f_occupying(a, s, f, i));
+            tracker.advance(f, i + 1);
+            for &(a, s) in &objects {
+                tracker.add(a, s);
+            }
+            // Allocate a pseudo-random batch for the next step.
+            for _ in 0..40 {
+                let obj = (Addr::new(next() % 512), Size::new(1 + next() % (1 << i)));
+                objects.push(obj);
+                tracker.add(obj.0, obj.1);
+            }
+            // And move a few (remove + add, as P_R's moved handler does).
+            for _ in 0..5 {
+                let idx = (next() as usize) % objects.len();
+                let (old, size) = objects[idx];
+                let moved = (Addr::new((old.get() + next() % 64) % 512), size);
+                tracker.remove(old, size);
+                tracker.add(moved.0, moved.1);
+                objects[idx] = moved;
+            }
+        }
     }
 
     #[test]

@@ -20,13 +20,11 @@
 //! individually switchable through [`PfVariant`], giving the ablation
 //! baseline (all off) used by experiment E7.
 
-use std::collections::HashMap;
-
 use pcb_heap::{Addr, MoveResponse, ObjectId, Program, Size};
 
 use crate::association::Association;
 use crate::math;
-use crate::occupancy::{choose_offset, first_occupying_word, is_f_occupying};
+use crate::occupancy::{first_occupying_word, is_f_occupying, OffsetTracker};
 
 /// Which of Section 3.1's improvements are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +92,7 @@ impl PfConfig {
     /// Returns a message when no feasible `ρ` exists (e.g. `n` too small
     /// or `c < 3`).
     pub fn new(m: u64, log_n: u32, c: u64) -> Result<Self, String> {
-        let (rho, h) = math::optimal_rho(m, log_n, c)
+        let (rho, h) = math::optimal_rho_memo(m, log_n, c)
             .ok_or_else(|| format!("no feasible rho for M={m}, log n={log_n}, c={c}"))?;
         Ok(PfConfig {
             m,
@@ -150,6 +148,45 @@ struct LiveObj {
     size: Size,
 }
 
+/// Id-indexed object table. Engine ids are small sequential integers, so
+/// a slot vector beats hashing on every placement/free, and iteration
+/// comes out in id order — which is the order every consumer sorts into
+/// anyway.
+#[derive(Debug, Default)]
+struct IdMap {
+    slots: Vec<Option<LiveObj>>,
+}
+
+impl IdMap {
+    fn insert(&mut self, id: ObjectId, obj: LiveObj) {
+        let i = id.get() as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(obj);
+    }
+
+    fn remove(&mut self, id: ObjectId) -> Option<LiveObj> {
+        self.slots.get_mut(id.get() as usize)?.take()
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Live entries in ascending id order.
+    fn iter(&self) -> impl Iterator<Item = (ObjectId, LiveObj)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|o| (ObjectId::from_raw(i as u64), o)))
+    }
+
+    fn values(&self) -> impl Iterator<Item = LiveObj> + '_ {
+        self.slots.iter().filter_map(|o| *o)
+    }
+}
+
 /// Execution phases of `P_F`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -176,11 +213,16 @@ pub struct PfProgram {
     cfg: PfConfig,
     round: u32,
     f: u64,
-    live: HashMap<ObjectId, LiveObj>,
+    live: IdMap,
     live_words: u64,
     /// Stage-I ghosts at their original (birth) address.
-    ghosts: HashMap<ObjectId, LiveObj>,
+    ghosts: IdMap,
     ghost_words: u64,
+    /// Incrementally maintained candidate scores over live ∪ ghosts for
+    /// the next Robson offset choice. Stage-I moves are score-neutral (the
+    /// ghost inherits the birth address and size), so only placements and
+    /// step transitions touch it.
+    tracker: OffsetTracker,
     assoc: Option<Association>,
     /// Words allocated in each stage (the analysis' `s₁`, `s₂`).
     s1_words: u64,
@@ -198,10 +240,11 @@ impl PfProgram {
             cfg,
             round: 0,
             f: 0,
-            live: HashMap::new(),
+            live: IdMap::default(),
             live_words: 0,
-            ghosts: HashMap::new(),
+            ghosts: IdMap::default(),
             ghost_words: 0,
+            tracker: OffsetTracker::new(),
             assoc: None,
             s1_words: 0,
             s2_words: 0,
@@ -265,15 +308,6 @@ impl PfProgram {
         &self.violations
     }
 
-    /// Live-or-ghost inventory for the Robson offset rule.
-    fn robson_objects(&self) -> Vec<(Addr, Size)> {
-        self.live
-            .values()
-            .chain(self.ghosts.values())
-            .map(|o| (o.addr, o.size))
-            .collect()
-    }
-
     /// Builds the line-9 association: each `f_ρ`-occupying live or ghost
     /// object is associated with the `2^{2ρ−1}`-chunk containing its
     /// occupying word.
@@ -284,8 +318,8 @@ impl PfProgram {
         let mut items: Vec<(ObjectId, LiveObj, bool)> = self
             .live
             .iter()
-            .map(|(&id, &o)| (id, o, true))
-            .chain(self.ghosts.iter().map(|(&id, &o)| (id, o, false)))
+            .map(|(id, o)| (id, o, true))
+            .chain(self.ghosts.iter().map(|(id, o)| (id, o, false)))
             .collect();
         items.sort_by_key(|&(id, _, _)| id);
         for (id, obj, live) in items {
@@ -334,18 +368,19 @@ impl Program for PfProgram {
             Phase::Fill | Phase::Null(_) | Phase::Done => Vec::new(),
             Phase::Robson(i) => {
                 // Line 5: pick f_i; line 6: free the non-f_i-occupying.
+                debug_assert_eq!(self.tracker.step(), i);
                 if self.cfg.variant.robson_stage1 {
-                    self.f = choose_offset(self.robson_objects(), self.f, i);
+                    self.f = self.tracker.choose();
                 }
                 let f = self.f;
-                let mut freed: Vec<ObjectId> = self
+                // IdMap iteration is already in ascending id order.
+                let freed: Vec<ObjectId> = self
                     .live
                     .iter()
-                    .filter(|(_, o)| !is_f_occupying(o.addr, o.size, f, i))
-                    .map(|(&id, _)| id)
+                    .filter(|&(_, o)| !is_f_occupying(o.addr, o.size, f, i))
+                    .map(|(id, _)| id)
                     .collect();
-                freed.sort_unstable();
-                for id in &freed {
+                for &id in &freed {
                     let o = self.live.remove(id).expect("selected from live");
                     self.live_words -= o.size.get();
                 }
@@ -353,12 +388,19 @@ impl Program for PfProgram {
                 let ghost_gone: Vec<ObjectId> = self
                     .ghosts
                     .iter()
-                    .filter(|(_, o)| !is_f_occupying(o.addr, o.size, f, i))
-                    .map(|(&id, _)| id)
+                    .filter(|&(_, o)| !is_f_occupying(o.addr, o.size, f, i))
+                    .map(|(id, _)| id)
                     .collect();
                 for id in ghost_gone {
-                    let o = self.ghosts.remove(&id).expect("selected from ghosts");
+                    let o = self.ghosts.remove(id).expect("selected from ghosts");
                     self.ghost_words -= o.size.get();
+                }
+                // Seed the step-(i+1) candidate scores from the surviving
+                // live-or-ghost inventory; round-`i` allocations accumulate
+                // via `placed`.
+                self.tracker.advance(f, i + 1);
+                for o in self.live.values().chain(self.ghosts.values()) {
+                    self.tracker.add(o.addr, o.size);
                 }
                 freed
             }
@@ -385,7 +427,7 @@ impl Program for PfProgram {
                         self.violations.push(format!("step {i}: {e}"));
                     }
                 }
-                for id in &freed {
+                for &id in &freed {
                     let o = self.live.remove(id).expect("shed objects are live");
                     self.live_words -= o.size.get();
                 }
@@ -463,7 +505,10 @@ impl Program for PfProgram {
                     }
                 }
             }
-            Phase::Fill | Phase::Robson(_) => self.s1_words += size.get(),
+            Phase::Fill | Phase::Robson(_) => {
+                self.s1_words += size.get();
+                self.tracker.add(addr, size);
+            }
             Phase::Null(_) | Phase::Done => {}
         }
     }
@@ -473,7 +518,7 @@ impl Program for PfProgram {
         // de-allocate this object immediately."
         let obj = self
             .live
-            .remove(&id)
+            .remove(id)
             .expect("the manager can only move live objects");
         self.live_words -= size.get();
         match self.phase() {

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use pcb_heap::{Addr, MoveResponse, ObjectId, Program, Size};
 
-use crate::occupancy::{choose_offset, is_f_occupying};
+use crate::occupancy::{is_f_occupying, OffsetTracker};
 
 /// Robson's bad program `P_R`.
 ///
@@ -36,6 +36,9 @@ pub struct RobsonProgram {
     f: u64,
     live: HashMap<ObjectId, (Addr, Size)>,
     live_words: u64,
+    /// Incrementally maintained candidate scores for the next offset
+    /// choice (replaces the per-step full-inventory score passes).
+    tracker: OffsetTracker,
     /// `(step, f, survivors, words_freed)` per step, for analysis.
     step_log: Vec<StepSummary>,
 }
@@ -71,6 +74,7 @@ impl RobsonProgram {
             f: 0,
             live: HashMap::new(),
             live_words: 0,
+            tracker: OffsetTracker::new(),
             step_log: Vec::new(),
         }
     }
@@ -101,8 +105,8 @@ impl Program for RobsonProgram {
             return Vec::new();
         }
         let i = self.round;
-        let objects: Vec<(Addr, Size)> = self.live.values().copied().collect();
-        self.f = choose_offset(objects, self.f, i);
+        debug_assert_eq!(self.tracker.step(), i);
+        self.f = self.tracker.choose();
         let f = self.f;
         let mut freed: Vec<ObjectId> = self
             .live
@@ -116,6 +120,12 @@ impl Program for RobsonProgram {
             let (_, size) = self.live.remove(id).expect("selected from live");
             words += size.get();
             self.live_words -= size.get();
+        }
+        // Seed the step-(i+1) candidate scores from the survivors; later
+        // allocations accumulate via `placed`.
+        self.tracker.advance(f, i + 1);
+        for &(addr, size) in self.live.values() {
+            self.tracker.add(addr, size);
         }
         self.step_log.push(StepSummary {
             step: i,
@@ -141,12 +151,15 @@ impl Program for RobsonProgram {
     fn placed(&mut self, id: ObjectId, addr: Addr, size: Size) {
         self.live.insert(id, (addr, size));
         self.live_words += size.get();
+        self.tracker.add(addr, size);
     }
 
-    fn moved(&mut self, id: ObjectId, _from: Addr, to: Addr, size: Size) -> MoveResponse {
+    fn moved(&mut self, id: ObjectId, from: Addr, to: Addr, size: Size) -> MoveResponse {
         // P_R is designed for non-moving managers; if one moves anyway we
         // just track the new location and keep the object.
         self.live.insert(id, (to, size));
+        self.tracker.remove(from, size);
+        self.tracker.add(to, size);
         MoveResponse::Keep
     }
 

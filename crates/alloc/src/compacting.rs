@@ -42,11 +42,20 @@ impl CompactingManager {
     ///
     /// Panics if `c < 1` or `m == 0`.
     pub fn new(c: u64, m: u64) -> Self {
+        Self::with_mirror(c, m, crate::MirrorImpl::default())
+    }
+
+    /// [`new`](Self::new) with an explicit mirror impl.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c < 1` or `m == 0`.
+    pub fn with_mirror(c: u64, m: u64, mirror: crate::MirrorImpl) -> Self {
         assert!(c >= 1, "compaction bound must be at least 1");
         assert!(m > 0, "live bound must be positive");
         CompactingManager {
             limit: (c + 1) * m,
-            space: FreeSpace::new(),
+            space: FreeSpace::with_impl(mirror),
             compactions: 0,
         }
     }
@@ -148,6 +157,10 @@ impl MemoryManager for CompactingManager {
 
     fn note_free(&mut self, _id: ObjectId, addr: Addr, size: Size) {
         self.space.release(addr, size);
+    }
+
+    fn publish_metrics(&self) {
+        self.space.publish_metrics();
     }
 
     fn arena(&self) -> Option<pcb_heap::Extent> {

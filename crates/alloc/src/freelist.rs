@@ -1,18 +1,36 @@
 //! Manager-side free-space index.
 //!
-//! [`FreeSpace`] tracks the gaps of a manager's heap view: an
-//! address-ordered map for neighbour coalescing plus a size-ordered index so
-//! the classic fit policies run in `O(distinct gap sizes)` instead of
-//! scanning every hole — essential because the paper's adversaries
-//! deliberately shatter the heap into hundreds of thousands of holes.
+//! [`FreeSpace`] tracks the gaps of a manager's heap view and answers
+//! the classic fit policies without scanning every hole — essential
+//! because the paper's adversaries deliberately shatter the heap into
+//! hundreds of thousands of holes.
+//!
+//! Two interchangeable implementations sit behind the [`MirrorImpl`]
+//! knob (`PCB_MIRROR`), exactly as `PCB_SUBSTRATE` selects the heap's
+//! occupancy substrate:
+//!
+//! * [`MirrorImpl::Indexed`] (default) — open-addressed address/end
+//!   maps, a hierarchical bitmap over gap starts, and per-size-class
+//!   bucket heaps (see `indexed.rs`);
+//! * [`MirrorImpl::Reference`] — the seed `BTreeMap<u64, u64>` address
+//!   mirror plus `BTreeSet<(len, start)>` size index, retained verbatim
+//!   as the lockstep oracle.
+//!
+//! Both choose byte-for-byte identical addresses and report identical
+//! probe counts; `tests/manager_equivalence.rs` drives them in lockstep
+//! over random scripts to pin that.
 //!
 //! The address space is unbounded above: everything at or beyond the
-//! *frontier* is free. Gaps below the frontier are kept disjoint, non-empty,
-//! and fully coalesced (no two adjacent gaps, no gap touching the frontier).
+//! *frontier* is free. Gaps below the frontier are kept disjoint,
+//! non-empty, and fully coalesced (no two adjacent gaps, no gap
+//! touching the frontier).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{btree_map, BTreeMap, BTreeSet};
 
 use pcb_heap::{Addr, Extent, Size};
+
+use crate::indexed::IndexedFreeSpace;
+use crate::MirrorImpl;
 
 /// Placement policies over a [`FreeSpace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,8 +94,232 @@ pub struct TakeStats {
 /// let b = fs.take(Size::new(3), FitPolicy::FirstFit); // reuses the hole
 /// assert_eq!(b, Addr::new(2));
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct FreeSpace {
+    inner: Inner,
+}
+
+// One `FreeSpace` lives per manager, never in bulk collections, and
+// every take/release goes through it — boxing the indexed arm to
+// shrink the enum would buy nothing and cost a pointer chase per op.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Inner {
+    Indexed(IndexedFreeSpace),
+    Reference(ReferenceFreeSpace),
+}
+
+impl Default for FreeSpace {
+    fn default() -> Self {
+        Self::with_impl(MirrorImpl::default())
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $fs:ident => $body:expr) => {
+        match $self {
+            Inner::Indexed($fs) => $body,
+            Inner::Reference($fs) => $body,
+        }
+    };
+}
+
+impl FreeSpace {
+    /// Creates an index with the whole address space free, on the
+    /// default (indexed) implementation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an index on the given implementation.
+    pub fn with_impl(mirror: MirrorImpl) -> Self {
+        let inner = match mirror {
+            MirrorImpl::Indexed => Inner::Indexed(IndexedFreeSpace::new()),
+            MirrorImpl::Reference => Inner::Reference(ReferenceFreeSpace::default()),
+        };
+        Self { inner }
+    }
+
+    /// Which implementation this index runs on.
+    pub fn impl_kind(&self) -> MirrorImpl {
+        match &self.inner {
+            Inner::Indexed(_) => MirrorImpl::Indexed,
+            Inner::Reference(_) => MirrorImpl::Reference,
+        }
+    }
+
+    /// One past the highest address ever handed out.
+    pub fn frontier(&self) -> Addr {
+        dispatch!(&self.inner, fs => fs.frontier())
+    }
+
+    /// Number of interior gaps.
+    pub fn gap_count(&self) -> usize {
+        dispatch!(&self.inner, fs => fs.gap_count())
+    }
+
+    /// Total words in interior gaps.
+    pub fn gap_words(&self) -> Size {
+        dispatch!(&self.inner, fs => fs.gap_words())
+    }
+
+    /// Iterates over interior gaps in address order.
+    pub fn gaps(&self) -> impl Iterator<Item = Extent> + '_ {
+        match &self.inner {
+            Inner::Indexed(fs) => GapsIter::Indexed(fs.gaps()),
+            Inner::Reference(fs) => GapsIter::Reference(fs.by_addr.iter()),
+        }
+    }
+
+    /// The largest interior gap (zero when there is none).
+    pub fn largest_gap(&self) -> Size {
+        dispatch!(&self.inner, fs => fs.largest_gap())
+    }
+
+    /// The gap ending exactly at `addr`, if any.
+    pub fn gap_ending_at(&self, addr: Addr) -> Option<Extent> {
+        dispatch!(&self.inner, fs => fs.gap_ending_at(addr))
+    }
+
+    /// The gap starting exactly at `addr`, if any.
+    pub fn gap_starting_at(&self, addr: Addr) -> Option<Extent> {
+        dispatch!(&self.inner, fs => fs.gap_starting_at(addr))
+    }
+
+    /// The gap containing `addr`, if any.
+    pub fn gap_containing(&self, addr: Addr) -> Option<Extent> {
+        dispatch!(&self.inner, fs => fs.gap_containing(addr))
+    }
+
+    /// Claims `size` words according to `policy` (with
+    /// [`FitPolicy::NextFit`] behaving like first-fit; use
+    /// [`take_next_fit`](Self::take_next_fit) to supply a cursor).
+    ///
+    /// Never fails: the frontier always fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take(&mut self, size: Size, policy: FitPolicy) -> Addr {
+        dispatch!(&mut self.inner, fs => fs.take(size, policy))
+    }
+
+    /// Like [`take`](Self::take), but also reports how many index probes
+    /// the policy performed and the size of the gap it carved from.
+    /// Chooses exactly the same address as [`take`](Self::take).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take_traced(&mut self, size: Size, policy: FitPolicy) -> (Addr, TakeStats) {
+        dispatch!(&mut self.inner, fs => fs.take_traced(size, policy))
+    }
+
+    /// Like [`take`](Self::take), but fails instead of letting the frontier
+    /// pass `limit` (for arena-bounded managers). Interior gaps are always
+    /// acceptable since they lie below the frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn try_take_within(&mut self, size: Size, policy: FitPolicy, limit: u64) -> Option<Addr> {
+        dispatch!(&mut self.inner, fs => fs.try_take_within(size, policy, limit))
+    }
+
+    /// Next-fit with an explicit roving cursor; returns the placement and
+    /// updates the cursor to just past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take_next_fit(&mut self, size: Size, cursor: &mut Addr) -> Addr {
+        dispatch!(&mut self.inner, fs => fs.take_next_fit(size, cursor))
+    }
+
+    /// Like [`take_next_fit`](Self::take_next_fit), but also reports how
+    /// many gaps were examined and the size of the gap carved from.
+    /// Chooses exactly the same address and cursor update.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn take_next_fit_traced(&mut self, size: Size, cursor: &mut Addr) -> (Addr, TakeStats) {
+        dispatch!(&mut self.inner, fs => fs.take_next_fit_traced(size, cursor))
+    }
+
+    /// Claims `size` words at the lowest address that is a multiple of
+    /// `align`. Linear in the number of gaps; prefer the buddy structure
+    /// for hot aligned workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes or zero alignment.
+    pub fn take_aligned(&mut self, size: Size, align: u64) -> Addr {
+        dispatch!(&mut self.inner, fs => fs.take_aligned(size, align))
+    }
+
+    /// Claims the specific extent `[start, start+size)` if it is entirely
+    /// free; returns whether it succeeded.
+    pub fn take_exact(&mut self, start: Addr, size: Size) -> bool {
+        dispatch!(&mut self.inner, fs => fs.take_exact(start, size))
+    }
+
+    /// Whether the extent `[start, start+size)` is entirely free.
+    pub fn is_free(&self, start: Addr, size: Size) -> bool {
+        dispatch!(&self.inner, fs => fs.is_free(start, size))
+    }
+
+    /// Returns `[start, start+size)` to the free pool, coalescing with
+    /// neighbouring gaps and the frontier.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the range is already free (double release).
+    pub fn release(&mut self, start: Addr, size: Size) {
+        dispatch!(&mut self.inner, fs => fs.release(start, size))
+    }
+
+    /// Forgets everything, making the whole space free again (used by
+    /// managers that rebuild their view after a full compaction).
+    pub fn clear(&mut self) {
+        dispatch!(&mut self.inner, fs => fs.clear())
+    }
+
+    /// Publishes index high-water marks into the `pcb-metrics` plane; a
+    /// relaxed-load no-op while the plane is detached.
+    pub fn publish_metrics(&self) {
+        if let Inner::Indexed(fs) = &self.inner {
+            fs.publish_metrics();
+        }
+    }
+
+    /// Internal-consistency check for tests: the indexes agree, gaps are
+    /// disjoint, coalesced, non-empty, and below the frontier.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        dispatch!(&self.inner, fs => fs.check_invariants())
+    }
+}
+
+enum GapsIter<'a> {
+    Indexed(crate::indexed::Gaps<'a>),
+    Reference(btree_map::Iter<'a, u64, u64>),
+}
+
+impl Iterator for GapsIter<'_> {
+    type Item = Extent;
+
+    fn next(&mut self) -> Option<Extent> {
+        match self {
+            GapsIter::Indexed(it) => it.next(),
+            GapsIter::Reference(it) => it.next().map(|(&s, &l)| Extent::from_raw(s, l)),
+        }
+    }
+}
+
+/// The seed BTree-based free-space index, retained as the lockstep
+/// oracle for [`MirrorImpl::Reference`].
+#[derive(Debug, Default, Clone)]
+struct ReferenceFreeSpace {
     /// start -> length, gaps strictly below the frontier.
     by_addr: BTreeMap<u64, u64>,
     /// Flat `(length, start)` index: lexicographic order groups gaps by
@@ -89,39 +331,24 @@ pub struct FreeSpace {
     frontier: u64,
 }
 
-impl FreeSpace {
-    /// Creates an index with the whole address space free.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// One past the highest address ever handed out.
-    pub fn frontier(&self) -> Addr {
+impl ReferenceFreeSpace {
+    fn frontier(&self) -> Addr {
         Addr::new(self.frontier)
     }
 
-    /// Number of interior gaps.
-    pub fn gap_count(&self) -> usize {
+    fn gap_count(&self) -> usize {
         self.by_addr.len()
     }
 
-    /// Total words in interior gaps.
-    pub fn gap_words(&self) -> Size {
+    fn gap_words(&self) -> Size {
         Size::new(self.by_addr.values().sum())
     }
 
-    /// Iterates over interior gaps in address order.
-    pub fn gaps(&self) -> impl Iterator<Item = Extent> + '_ {
-        self.by_addr.iter().map(|(&s, &l)| Extent::from_raw(s, l))
-    }
-
-    /// The largest interior gap (zero when there is none).
-    pub fn largest_gap(&self) -> Size {
+    fn largest_gap(&self) -> Size {
         Size::new(self.by_len.iter().next_back().map_or(0, |&(len, _)| len))
     }
 
-    /// The gap ending exactly at `addr`, if any (O(log gaps)).
-    pub fn gap_ending_at(&self, addr: Addr) -> Option<Extent> {
+    fn gap_ending_at(&self, addr: Addr) -> Option<Extent> {
         self.by_addr
             .range(..addr.get())
             .next_back()
@@ -129,15 +356,13 @@ impl FreeSpace {
             .map(|(&s, &l)| Extent::from_raw(s, l))
     }
 
-    /// The gap starting exactly at `addr`, if any (O(log gaps)).
-    pub fn gap_starting_at(&self, addr: Addr) -> Option<Extent> {
+    fn gap_starting_at(&self, addr: Addr) -> Option<Extent> {
         self.by_addr
             .get(&addr.get())
             .map(|&l| Extent::from_raw(addr.get(), l))
     }
 
-    /// The gap containing `addr`, if any (O(log gaps)).
-    pub fn gap_containing(&self, addr: Addr) -> Option<Extent> {
+    fn gap_containing(&self, addr: Addr) -> Option<Extent> {
         self.by_addr
             .range(..=addr.get())
             .next_back()
@@ -166,16 +391,7 @@ impl FreeSpace {
         self.by_len.insert((len, start));
     }
 
-    /// Claims `size` words according to `policy` (with
-    /// [`FitPolicy::NextFit`] behaving like first-fit; use
-    /// [`take_next_fit`](Self::take_next_fit) to supply a cursor).
-    ///
-    /// Never fails: the frontier always fits.
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero sizes.
-    pub fn take(&mut self, size: Size, policy: FitPolicy) -> Addr {
+    fn take(&mut self, size: Size, policy: FitPolicy) -> Addr {
         assert!(!size.is_zero(), "cannot take zero words");
         let s = size.get();
         let pick = match policy {
@@ -189,14 +405,7 @@ impl FreeSpace {
         }
     }
 
-    /// Like [`take`](Self::take), but also reports how many index probes
-    /// the policy performed and the size of the gap it carved from.
-    /// Chooses exactly the same address as [`take`](Self::take).
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero sizes.
-    pub fn take_traced(&mut self, size: Size, policy: FitPolicy) -> (Addr, TakeStats) {
+    fn take_traced(&mut self, size: Size, policy: FitPolicy) -> (Addr, TakeStats) {
         assert!(!size.is_zero(), "cannot take zero words");
         let s = size.get();
         let (pick, probes) = match policy {
@@ -219,14 +428,7 @@ impl FreeSpace {
         }
     }
 
-    /// Like [`take`](Self::take), but fails instead of letting the frontier
-    /// pass `limit` (for arena-bounded managers). Interior gaps are always
-    /// acceptable since they lie below the frontier.
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero sizes.
-    pub fn try_take_within(&mut self, size: Size, policy: FitPolicy, limit: u64) -> Option<Addr> {
+    fn try_take_within(&mut self, size: Size, policy: FitPolicy, limit: u64) -> Option<Addr> {
         assert!(!size.is_zero(), "cannot take zero words");
         let s = size.get();
         let pick = match policy {
@@ -241,13 +443,7 @@ impl FreeSpace {
         }
     }
 
-    /// Next-fit with an explicit roving cursor; returns the placement and
-    /// updates the cursor to just past it.
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero sizes.
-    pub fn take_next_fit(&mut self, size: Size, cursor: &mut Addr) -> Addr {
+    fn take_next_fit(&mut self, size: Size, cursor: &mut Addr) -> Addr {
         assert!(!size.is_zero(), "cannot take zero words");
         let s = size.get();
         let from = cursor.get();
@@ -277,14 +473,7 @@ impl FreeSpace {
         addr
     }
 
-    /// Like [`take_next_fit`](Self::take_next_fit), but also reports how
-    /// many gaps were examined and the size of the gap carved from.
-    /// Chooses exactly the same address and cursor update.
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero sizes.
-    pub fn take_next_fit_traced(&mut self, size: Size, cursor: &mut Addr) -> (Addr, TakeStats) {
+    fn take_next_fit_traced(&mut self, size: Size, cursor: &mut Addr) -> (Addr, TakeStats) {
         assert!(!size.is_zero(), "cannot take zero words");
         let s = size.get();
         let from = cursor.get();
@@ -320,14 +509,7 @@ impl FreeSpace {
         (addr, TakeStats { probes, gap_len })
     }
 
-    /// Claims `size` words at the lowest address that is a multiple of
-    /// `align`. Linear in the number of gaps; prefer the buddy structure
-    /// for hot aligned workloads.
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero sizes or zero alignment.
-    pub fn take_aligned(&mut self, size: Size, align: u64) -> Addr {
+    fn take_aligned(&mut self, size: Size, align: u64) -> Addr {
         assert!(!size.is_zero(), "cannot take zero words");
         assert!(align > 0, "alignment must be positive");
         let s = size.get();
@@ -353,9 +535,7 @@ impl FreeSpace {
         }
     }
 
-    /// Claims the specific extent `[start, start+size)` if it is entirely
-    /// free; returns whether it succeeded.
-    pub fn take_exact(&mut self, start: Addr, size: Size) -> bool {
+    fn take_exact(&mut self, start: Addr, size: Size) -> bool {
         if size.is_zero() {
             return true;
         }
@@ -384,8 +564,7 @@ impl FreeSpace {
         true
     }
 
-    /// Whether the extent `[start, start+size)` is entirely free.
-    pub fn is_free(&self, start: Addr, size: Size) -> bool {
+    fn is_free(&self, start: Addr, size: Size) -> bool {
         if size.is_zero() {
             return true;
         }
@@ -484,13 +663,7 @@ impl FreeSpace {
         Addr::new(at)
     }
 
-    /// Returns `[start, start+size)` to the free pool, coalescing with
-    /// neighbouring gaps and the frontier.
-    ///
-    /// # Panics
-    ///
-    /// Debug-panics if the range is already free (double release).
-    pub fn release(&mut self, start: Addr, size: Size) {
+    fn release(&mut self, start: Addr, size: Size) {
         if size.is_zero() {
             return;
         }
@@ -535,17 +708,13 @@ impl FreeSpace {
         }
     }
 
-    /// Forgets everything, making the whole space free again (used by
-    /// managers that rebuild their view after a full compaction).
-    pub fn clear(&mut self) {
+    fn clear(&mut self) {
         self.by_addr.clear();
         self.by_len.clear();
         self.frontier = 0;
     }
 
-    /// Internal-consistency check for tests: by_addr/by_len agree, gaps are
-    /// disjoint, coalesced, non-empty, and below the frontier.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), String> {
         let mut prev_end: Option<u64> = None;
         for (&start, &len) in &self.by_addr {
             if len == 0 {
@@ -583,9 +752,9 @@ impl FreeSpace {
 mod tests {
     use super::*;
 
-    fn fs_with_holes() -> FreeSpace {
+    fn fs_with_holes(mirror: MirrorImpl) -> FreeSpace {
         // Layout: [0,4) used, [4,8) free, [8,20) used, [20,30) free, [30,40) used.
-        let mut fs = FreeSpace::new();
+        let mut fs = FreeSpace::with_impl(mirror);
         let a = fs.take(Size::new(40), FitPolicy::FirstFit);
         assert_eq!(a, Addr::new(0));
         fs.release(Addr::new(4), Size::new(4));
@@ -596,155 +765,179 @@ mod tests {
 
     #[test]
     fn first_fit_prefers_lowest_address() {
-        let mut fs = fs_with_holes();
-        assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(4));
-        assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(20));
-        fs.check_invariants().unwrap();
+        for mirror in MirrorImpl::ALL {
+            let mut fs = fs_with_holes(mirror);
+            assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(4));
+            assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(20));
+            fs.check_invariants().unwrap();
+        }
     }
 
     #[test]
     fn best_fit_prefers_tightest_gap() {
-        let mut fs = fs_with_holes();
-        assert_eq!(fs.take(Size::new(3), FitPolicy::BestFit), Addr::new(4));
-        fs.check_invariants().unwrap();
+        for mirror in MirrorImpl::ALL {
+            let mut fs = fs_with_holes(mirror);
+            assert_eq!(fs.take(Size::new(3), FitPolicy::BestFit), Addr::new(4));
+            fs.check_invariants().unwrap();
+        }
     }
 
     #[test]
     fn worst_fit_prefers_largest_gap() {
-        let mut fs = fs_with_holes();
-        assert_eq!(fs.take(Size::new(3), FitPolicy::WorstFit), Addr::new(20));
-        fs.check_invariants().unwrap();
+        for mirror in MirrorImpl::ALL {
+            let mut fs = fs_with_holes(mirror);
+            assert_eq!(fs.take(Size::new(3), FitPolicy::WorstFit), Addr::new(20));
+            fs.check_invariants().unwrap();
+        }
     }
 
     #[test]
     fn frontier_used_when_nothing_fits() {
-        let mut fs = fs_with_holes();
-        assert_eq!(fs.take(Size::new(11), FitPolicy::FirstFit), Addr::new(40));
-        assert_eq!(fs.frontier(), Addr::new(51));
-        fs.check_invariants().unwrap();
+        for mirror in MirrorImpl::ALL {
+            let mut fs = fs_with_holes(mirror);
+            assert_eq!(fs.take(Size::new(11), FitPolicy::FirstFit), Addr::new(40));
+            assert_eq!(fs.frontier(), Addr::new(51));
+            fs.check_invariants().unwrap();
+        }
     }
 
     #[test]
     fn release_coalesces_both_sides_and_frontier() {
-        let mut fs = FreeSpace::new();
-        fs.take(Size::new(30), FitPolicy::FirstFit);
-        fs.release(Addr::new(0), Size::new(10));
-        fs.release(Addr::new(20), Size::new(5));
-        fs.release(Addr::new(10), Size::new(10)); // bridges both gaps
-        fs.check_invariants().unwrap();
-        assert_eq!(fs.gap_count(), 1);
-        assert_eq!(fs.gap_words(), Size::new(25));
-        fs.release(Addr::new(25), Size::new(5)); // touches frontier: retreat
-        fs.check_invariants().unwrap();
-        assert_eq!(fs.frontier(), Addr::new(0));
-        assert_eq!(fs.gap_count(), 0);
+        for mirror in MirrorImpl::ALL {
+            let mut fs = FreeSpace::with_impl(mirror);
+            fs.take(Size::new(30), FitPolicy::FirstFit);
+            fs.release(Addr::new(0), Size::new(10));
+            fs.release(Addr::new(20), Size::new(5));
+            fs.release(Addr::new(10), Size::new(10)); // bridges both gaps
+            fs.check_invariants().unwrap();
+            assert_eq!(fs.gap_count(), 1);
+            assert_eq!(fs.gap_words(), Size::new(25));
+            fs.release(Addr::new(25), Size::new(5)); // touches frontier: retreat
+            fs.check_invariants().unwrap();
+            assert_eq!(fs.frontier(), Addr::new(0));
+            assert_eq!(fs.gap_count(), 0);
+        }
     }
 
     #[test]
     fn next_fit_roves_and_wraps() {
-        let mut fs = fs_with_holes();
-        let mut cursor = Addr::new(10);
-        // From 10: first fitting gap at/after 10 is [20,30).
-        assert_eq!(fs.take_next_fit(Size::new(2), &mut cursor), Addr::new(20));
-        assert_eq!(cursor, Addr::new(22));
-        // [22,30) fits again.
-        assert_eq!(fs.take_next_fit(Size::new(8), &mut cursor), Addr::new(22));
-        // Nothing at/after 30 fits 4 words; wraps to [4,8).
-        assert_eq!(fs.take_next_fit(Size::new(4), &mut cursor), Addr::new(4));
-        // Nothing interior fits 4 words; frontier.
-        assert_eq!(fs.take_next_fit(Size::new(4), &mut cursor), Addr::new(40));
-        fs.check_invariants().unwrap();
+        for mirror in MirrorImpl::ALL {
+            let mut fs = fs_with_holes(mirror);
+            let mut cursor = Addr::new(10);
+            // From 10: first fitting gap at/after 10 is [20,30).
+            assert_eq!(fs.take_next_fit(Size::new(2), &mut cursor), Addr::new(20));
+            assert_eq!(cursor, Addr::new(22));
+            // [22,30) fits again.
+            assert_eq!(fs.take_next_fit(Size::new(8), &mut cursor), Addr::new(22));
+            // Nothing at/after 30 fits 4 words; wraps to [4,8).
+            assert_eq!(fs.take_next_fit(Size::new(4), &mut cursor), Addr::new(4));
+            // Nothing interior fits 4 words; frontier.
+            assert_eq!(fs.take_next_fit(Size::new(4), &mut cursor), Addr::new(40));
+            fs.check_invariants().unwrap();
+        }
     }
 
     #[test]
     fn aligned_take_from_gap_and_frontier() {
-        let mut fs = FreeSpace::new();
-        fs.take(Size::new(33), FitPolicy::FirstFit);
-        fs.release(Addr::new(5), Size::new(12)); // gap [5,17)
-                                                 // Aligned to 8: candidate 8, needs [8,16) ⊆ [5,17) ✓
-        assert_eq!(fs.take_aligned(Size::new(8), 8), Addr::new(8));
-        fs.check_invariants().unwrap();
-        // Next aligned-8 request: gap remnants [5,8) and [16,17) too small;
-        // frontier 33 aligns up to 40, leaving [33,40) as a gap.
-        assert_eq!(fs.take_aligned(Size::new(8), 8), Addr::new(40));
-        fs.check_invariants().unwrap();
-        assert!(fs.is_free(Addr::new(33), Size::new(7)));
-        assert_eq!(fs.frontier(), Addr::new(48));
+        for mirror in MirrorImpl::ALL {
+            let mut fs = FreeSpace::with_impl(mirror);
+            fs.take(Size::new(33), FitPolicy::FirstFit);
+            fs.release(Addr::new(5), Size::new(12)); // gap [5,17)
+                                                     // Aligned to 8: candidate 8, needs [8,16) ⊆ [5,17) ✓
+            assert_eq!(fs.take_aligned(Size::new(8), 8), Addr::new(8));
+            fs.check_invariants().unwrap();
+            // Next aligned-8 request: gap remnants [5,8) and [16,17) too small;
+            // frontier 33 aligns up to 40, leaving [33,40) as a gap.
+            assert_eq!(fs.take_aligned(Size::new(8), 8), Addr::new(40));
+            fs.check_invariants().unwrap();
+            assert!(fs.is_free(Addr::new(33), Size::new(7)));
+            assert_eq!(fs.frontier(), Addr::new(48));
+        }
     }
 
     #[test]
     fn take_exact_inside_gap_and_frontier() {
-        let mut fs = FreeSpace::new();
-        fs.take(Size::new(20), FitPolicy::FirstFit);
-        fs.release(Addr::new(4), Size::new(8)); // gap [4,12)
-        assert!(fs.take_exact(Addr::new(6), Size::new(4))); // middle of the gap
-        fs.check_invariants().unwrap();
-        assert!(!fs.take_exact(Addr::new(10), Size::new(4))); // [10,14) partly used
-        assert!(fs.take_exact(Addr::new(30), Size::new(5))); // frontier, skips [20,30)
-        fs.check_invariants().unwrap();
-        assert!(fs.is_free(Addr::new(20), Size::new(10)));
-        assert_eq!(fs.frontier(), Addr::new(35));
+        for mirror in MirrorImpl::ALL {
+            let mut fs = FreeSpace::with_impl(mirror);
+            fs.take(Size::new(20), FitPolicy::FirstFit);
+            fs.release(Addr::new(4), Size::new(8)); // gap [4,12)
+            assert!(fs.take_exact(Addr::new(6), Size::new(4))); // middle of the gap
+            fs.check_invariants().unwrap();
+            assert!(!fs.take_exact(Addr::new(10), Size::new(4))); // [10,14) partly used
+            assert!(fs.take_exact(Addr::new(30), Size::new(5))); // frontier, skips [20,30)
+            fs.check_invariants().unwrap();
+            assert!(fs.is_free(Addr::new(20), Size::new(10)));
+            assert_eq!(fs.frontier(), Addr::new(35));
+        }
     }
 
     #[test]
     fn is_free_queries() {
-        let fs = fs_with_holes();
-        assert!(fs.is_free(Addr::new(4), Size::new(4)));
-        assert!(!fs.is_free(Addr::new(4), Size::new(5)));
-        assert!(!fs.is_free(Addr::new(0), Size::new(1)));
-        assert!(fs.is_free(Addr::new(40), Size::new(1_000_000)));
-        assert!(fs.is_free(Addr::new(25), Size::new(5)));
-        assert!(!fs.is_free(Addr::new(25), Size::new(6)));
+        for mirror in MirrorImpl::ALL {
+            let fs = fs_with_holes(mirror);
+            assert!(fs.is_free(Addr::new(4), Size::new(4)));
+            assert!(!fs.is_free(Addr::new(4), Size::new(5)));
+            assert!(!fs.is_free(Addr::new(0), Size::new(1)));
+            assert!(fs.is_free(Addr::new(40), Size::new(1_000_000)));
+            assert!(fs.is_free(Addr::new(25), Size::new(5)));
+            assert!(!fs.is_free(Addr::new(25), Size::new(6)));
+        }
     }
 
     #[test]
     fn clear_resets_everything() {
-        let mut fs = fs_with_holes();
-        fs.clear();
-        assert_eq!(fs.frontier(), Addr::ZERO);
-        assert_eq!(fs.gap_count(), 0);
-        assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(0));
+        for mirror in MirrorImpl::ALL {
+            let mut fs = fs_with_holes(mirror);
+            fs.clear();
+            assert_eq!(fs.frontier(), Addr::ZERO);
+            assert_eq!(fs.gap_count(), 0);
+            assert_eq!(fs.take(Size::new(4), FitPolicy::FirstFit), Addr::new(0));
+        }
     }
 
     #[test]
     fn traced_takes_match_untraced_choices() {
-        for policy in FitPolicy::ALL {
-            let mut plain = fs_with_holes();
-            let mut traced = fs_with_holes();
-            let mut plain_cursor = Addr::new(10);
-            let mut traced_cursor = Addr::new(10);
-            for step in 0..6u64 {
-                let size = Size::new(2 + step % 5);
-                let (a, b) = if policy == FitPolicy::NextFit {
-                    let a = plain.take_next_fit(size, &mut plain_cursor);
-                    let (b, t) = traced.take_next_fit_traced(size, &mut traced_cursor);
-                    assert!(t.probes >= 1);
-                    (a, b)
-                } else {
-                    let a = plain.take(size, policy);
-                    let (b, t) = traced.take_traced(size, policy);
-                    assert!(t.probes >= 1);
-                    if let Some(len) = t.gap_len {
-                        assert!(len >= size.get());
-                    }
-                    (a, b)
-                };
-                assert_eq!(a, b, "{policy:?} step {step}");
+        for mirror in MirrorImpl::ALL {
+            for policy in FitPolicy::ALL {
+                let mut plain = fs_with_holes(mirror);
+                let mut traced = fs_with_holes(mirror);
+                let mut plain_cursor = Addr::new(10);
+                let mut traced_cursor = Addr::new(10);
+                for step in 0..6u64 {
+                    let size = Size::new(2 + step % 5);
+                    let (a, b) = if policy == FitPolicy::NextFit {
+                        let a = plain.take_next_fit(size, &mut plain_cursor);
+                        let (b, t) = traced.take_next_fit_traced(size, &mut traced_cursor);
+                        assert!(t.probes >= 1);
+                        (a, b)
+                    } else {
+                        let a = plain.take(size, policy);
+                        let (b, t) = traced.take_traced(size, policy);
+                        assert!(t.probes >= 1);
+                        if let Some(len) = t.gap_len {
+                            assert!(len >= size.get());
+                        }
+                        (a, b)
+                    };
+                    assert_eq!(a, b, "{policy:?} step {step}");
+                }
+                assert_eq!(plain_cursor, traced_cursor);
+                traced.check_invariants().unwrap();
             }
-            assert_eq!(plain_cursor, traced_cursor);
-            traced.check_invariants().unwrap();
         }
     }
 
     #[test]
     fn traced_take_reports_gap_and_frontier() {
-        let mut fs = fs_with_holes();
-        let (addr, t) = fs.take_traced(Size::new(4), FitPolicy::FirstFit);
-        assert_eq!(addr, Addr::new(4));
-        assert_eq!(t.gap_len, Some(4));
-        let (addr, t) = fs.take_traced(Size::new(11), FitPolicy::FirstFit);
-        assert_eq!(addr, Addr::new(40), "frontier serve");
-        assert_eq!(t.gap_len, None);
+        for mirror in MirrorImpl::ALL {
+            let mut fs = fs_with_holes(mirror);
+            let (addr, t) = fs.take_traced(Size::new(4), FitPolicy::FirstFit);
+            assert_eq!(addr, Addr::new(4));
+            assert_eq!(t.gap_len, Some(4));
+            let (addr, t) = fs.take_traced(Size::new(11), FitPolicy::FirstFit);
+            assert_eq!(addr, Addr::new(40), "frontier serve");
+            assert_eq!(t.gap_len, None);
+        }
     }
 
     #[test]
@@ -755,17 +948,79 @@ mod tests {
 
     #[test]
     fn many_interleaved_ops_keep_invariants() {
-        let mut fs = FreeSpace::new();
-        let mut live: Vec<(Addr, Size)> = Vec::new();
-        for i in 0..500u64 {
-            let size = Size::new(1 + (i * 7) % 13);
-            let addr = fs.take(size, FitPolicy::ALL[(i % 4) as usize]);
-            live.push((addr, size));
-            if i % 3 == 0 {
-                let (a, s) = live.remove((i as usize * 5) % live.len());
-                fs.release(a, s);
+        for mirror in MirrorImpl::ALL {
+            let mut fs = FreeSpace::with_impl(mirror);
+            let mut live: Vec<(Addr, Size)> = Vec::new();
+            for i in 0..500u64 {
+                let size = Size::new(1 + (i * 7) % 13);
+                let addr = fs.take(size, FitPolicy::ALL[(i % 4) as usize]);
+                live.push((addr, size));
+                if i % 3 == 0 {
+                    let (a, s) = live.remove((i as usize * 5) % live.len());
+                    fs.release(a, s);
+                }
+                fs.check_invariants().unwrap();
             }
-            fs.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn implementations_stay_in_lockstep() {
+        // A denser cross-check than the proptests: drive both impls
+        // through an identical mixed script and compare every
+        // observable after every operation.
+        let mut ind = FreeSpace::with_impl(MirrorImpl::Indexed);
+        let mut refr = FreeSpace::with_impl(MirrorImpl::Reference);
+        assert_eq!(ind.impl_kind(), MirrorImpl::Indexed);
+        assert_eq!(refr.impl_kind(), MirrorImpl::Reference);
+        let mut live: Vec<(Addr, Size)> = Vec::new();
+        let mut cursor_i = Addr::ZERO;
+        let mut cursor_r = Addr::ZERO;
+        for i in 0..3000u64 {
+            let roll = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+            let size = Size::new(1 + roll % 300); // straddles SMALL_MAX
+            match roll % 7 {
+                0..=3 => {
+                    let policy = FitPolicy::ALL[(roll % 4) as usize];
+                    let (a, ta) = ind.take_traced(size, policy);
+                    let (b, tb) = refr.take_traced(size, policy);
+                    assert_eq!(a, b, "step {i}");
+                    assert_eq!(ta, tb, "step {i}");
+                    live.push((a, size));
+                }
+                4 => {
+                    let (a, ta) = ind.take_next_fit_traced(size, &mut cursor_i);
+                    let (b, tb) = refr.take_next_fit_traced(size, &mut cursor_r);
+                    assert_eq!(a, b, "step {i}");
+                    assert_eq!(ta, tb, "step {i}");
+                    assert_eq!(cursor_i, cursor_r);
+                    live.push((a, size));
+                }
+                5 => {
+                    let a = ind.take_aligned(size, 1 << (roll % 6));
+                    let b = refr.take_aligned(size, 1 << (roll % 6));
+                    assert_eq!(a, b, "step {i}");
+                    live.push((a, size));
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let (a, s) = live.remove((roll as usize * 31) % live.len());
+                        ind.release(a, s);
+                        refr.release(a, s);
+                    }
+                }
+            }
+            assert_eq!(ind.frontier(), refr.frontier(), "step {i}");
+            assert_eq!(ind.gap_count(), refr.gap_count(), "step {i}");
+            assert_eq!(ind.gap_words(), refr.gap_words(), "step {i}");
+            assert_eq!(ind.largest_gap(), refr.largest_gap(), "step {i}");
+            if i % 64 == 0 {
+                let gi: Vec<Extent> = ind.gaps().collect();
+                let gr: Vec<Extent> = refr.gaps().collect();
+                assert_eq!(gi, gr, "step {i}");
+                ind.check_invariants().unwrap();
+                refr.check_invariants().unwrap();
+            }
         }
     }
 }

@@ -1,0 +1,117 @@
+//! Selectable manager-mirror implementation, mirroring `PCB_SUBSTRATE`.
+//!
+//! PR 5 made the heap's occupancy referee swappable between the fast
+//! bitmap and the seed BTree implementation; this knob does the same for
+//! the *manager side*: every free-space mirror ([`FreeSpace`] and the
+//! structures layered on it) can run either on the new indexed
+//! implementation (hashed address links, hierarchical start bitmap,
+//! size-class buckets) or on the original BTree-based seed retained as a
+//! lockstep oracle. Reports are byte-identical across the two — the knob
+//! changes only the data-structure costs, never a placement decision.
+//!
+//! [`FreeSpace`]: crate::FreeSpace
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which free-space mirror implementation managers run on.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MirrorImpl {
+    /// Indexed mirror: open-addressed address/end maps, a hierarchical
+    /// bitmap over gap starts, per-size-class bucket heaps and a small
+    /// overflow tree. The default.
+    #[default]
+    Indexed,
+    /// The seed `BTreeMap`/`BTreeSet` mirror, retained as the lockstep
+    /// oracle for equivalence tests and paranoia runs.
+    Reference,
+}
+
+impl MirrorImpl {
+    /// Every implementation, for exhaustive tests and benches.
+    pub const ALL: [MirrorImpl; 2] = [MirrorImpl::Indexed, MirrorImpl::Reference];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MirrorImpl::Indexed => "indexed",
+            MirrorImpl::Reference => "reference",
+        }
+    }
+
+    /// Reads `PCB_MIRROR` ("indexed" or "reference"); unset or
+    /// unparsable values fall back to the default.
+    pub fn from_env() -> Self {
+        match std::env::var("PCB_MIRROR") {
+            Ok(v) => v.trim().parse().unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+}
+
+impl fmt::Display for MirrorImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`MirrorImpl`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMirrorImplError {
+    given: String,
+}
+
+impl fmt::Display for ParseMirrorImplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown mirror impl {:?} (expected indexed or reference)",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for ParseMirrorImplError {}
+
+impl FromStr for MirrorImpl {
+    type Err = ParseMirrorImplError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "indexed" | "slab" => Ok(MirrorImpl::Indexed),
+            "reference" | "btree" | "btreemap" => Ok(MirrorImpl::Reference),
+            _ => Err(ParseMirrorImplError {
+                given: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in MirrorImpl::ALL {
+            assert_eq!(m.name().parse::<MirrorImpl>().unwrap(), m);
+            assert_eq!(m.to_string(), m.name());
+        }
+    }
+
+    #[test]
+    fn aliases_and_errors() {
+        assert_eq!("slab".parse::<MirrorImpl>().unwrap(), MirrorImpl::Indexed);
+        assert_eq!(
+            " BTreeMap ".parse::<MirrorImpl>().unwrap(),
+            MirrorImpl::Reference
+        );
+        let err = "quantum".parse::<MirrorImpl>().unwrap_err();
+        assert!(err.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn default_is_indexed() {
+        assert_eq!(MirrorImpl::default(), MirrorImpl::Indexed);
+    }
+}

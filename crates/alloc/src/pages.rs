@@ -22,15 +22,26 @@
 //! The `1/c` constraint itself is enforced by the budget ledger at every
 //! move; the density threshold only decides when evacuation is
 //! *worthwhile* space-wise.
+//!
+//! Per-class bookkeeping follows the [`MirrorImpl`] knob: the indexed arm
+//! keeps pages in a slab addressed through an open-addressed `base -> slab
+//! index` map, with the `open`/`sparse` candidate sets as lazily-cleaned
+//! min-heaps (entries are revalidated against the page's current live
+//! count on peek); the reference arm retains the seed `BTreeMap`/`BTreeSet`
+//! structures. The page pool itself is a [`FreeSpace`] and follows the same
+//! knob.
 
 use core::fmt;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use pcb_heap::{
     Addr, AllocRequest, HeapOps, MemoryManager, MoveOutcome, ObjectId, PlacementError, Size,
 };
 
 use crate::freelist::FreeSpace;
+use crate::indexed::AddrMap;
+use crate::MirrorImpl;
 
 /// Objects per page: each class-`k` page spans `4 * 2^k` words, mirroring
 /// the factor-4 chunk geometry of the paper's Section 4 analysis.
@@ -58,43 +69,341 @@ impl Page {
     }
 }
 
-#[derive(Debug, Clone, Default)]
+/// Page lookup plus the `open`/`sparse` candidate sets, in either
+/// implementation.
+#[derive(Debug, Clone)]
+enum PageIndex {
+    Indexed {
+        /// base -> index into `slab`.
+        map: AddrMap,
+        slab: Vec<Option<Page>>,
+        free_ids: Vec<usize>,
+        /// Lazy min-heaps of candidate bases; entries are validated
+        /// against the page's live count on peek, and rebuilt from `map`
+        /// when stale entries dominate.
+        open: BinaryHeap<Reverse<u64>>,
+        sparse: BinaryHeap<Reverse<u64>>,
+    },
+    Reference {
+        /// base -> page.
+        pages: BTreeMap<u64, Page>,
+        /// Bases of pages with at least one free slot.
+        open: BTreeSet<u64>,
+        /// Bases of evacuation candidates (live ≤ `sparse_live`).
+        sparse: BTreeSet<u64>,
+    },
+}
+
+impl PageIndex {
+    fn new(mirror: MirrorImpl) -> Self {
+        match mirror {
+            MirrorImpl::Indexed => PageIndex::Indexed {
+                map: AddrMap::default(),
+                slab: Vec::new(),
+                free_ids: Vec::new(),
+                open: BinaryHeap::new(),
+                sparse: BinaryHeap::new(),
+            },
+            MirrorImpl::Reference => PageIndex::Reference {
+                pages: BTreeMap::new(),
+                open: BTreeSet::new(),
+                sparse: BTreeSet::new(),
+            },
+        }
+    }
+}
+
+/// One size class: its pages and candidate indexes plus the free-slot
+/// tally.
+#[derive(Debug, Clone)]
 struct ClassState {
-    /// base -> page.
-    pages: BTreeMap<u64, Page>,
-    /// Bases of pages with at least one free slot.
-    open: BTreeSet<u64>,
-    /// Bases of evacuation candidates (live slots ≤ [`SPARSE_LIVE`]).
-    sparse: BTreeSet<u64>,
+    index: PageIndex,
     /// Total free slots across all pages of the class.
     free_slots: usize,
 }
 
 impl ClassState {
-    /// Re-derives the `open`/`sparse` membership and `free_slots` delta
-    /// for one page after a slot change.
-    fn reindex(&mut self, base: u64, slots: usize, sparse_live: usize) {
-        let Some(page) = self.pages.get(&base) else {
-            self.open.remove(&base);
-            self.sparse.remove(&base);
+    fn new(mirror: MirrorImpl) -> Self {
+        ClassState {
+            index: PageIndex::new(mirror),
+            free_slots: 0,
+        }
+    }
+
+    fn page(&self, base: u64) -> Option<&Page> {
+        match &self.index {
+            PageIndex::Indexed { map, slab, .. } => {
+                map.get(base).and_then(|idx| slab[idx as usize].as_ref())
+            }
+            PageIndex::Reference { pages, .. } => pages.get(&base),
+        }
+    }
+
+    fn page_mut(&mut self, base: u64) -> Option<&mut Page> {
+        match &mut self.index {
+            PageIndex::Indexed { map, slab, .. } => {
+                map.get(base).and_then(|idx| slab[idx as usize].as_mut())
+            }
+            PageIndex::Reference { pages, .. } => pages.get_mut(&base),
+        }
+    }
+
+    /// Installs a fresh (empty) page at `base`.
+    fn insert_page(&mut self, base: u64, page: Page, slots: usize, sparse_live: usize) {
+        match &mut self.index {
+            PageIndex::Indexed {
+                map,
+                slab,
+                free_ids,
+                open,
+                sparse,
+            } => {
+                let idx = match free_ids.pop() {
+                    Some(idx) => {
+                        slab[idx] = Some(page);
+                        idx
+                    }
+                    None => {
+                        slab.push(Some(page));
+                        slab.len() - 1
+                    }
+                };
+                map.insert(base, idx as u64);
+                // An empty page is both open and sparse.
+                open.push(Reverse(base));
+                sparse.push(Reverse(base));
+                Self::maybe_rebuild(map, slab, open, |p| p.live() < slots);
+                Self::maybe_rebuild(map, slab, sparse, |p| p.live() <= sparse_live);
+            }
+            PageIndex::Reference {
+                pages,
+                open,
+                sparse,
+            } => {
+                pages.insert(base, page);
+                open.insert(base);
+                sparse.insert(base);
+            }
+        }
+    }
+
+    /// Removes the page at `base`, dropping its candidate memberships
+    /// (eagerly on the reference arm, lazily on the indexed one).
+    fn remove_page(&mut self, base: u64) -> Option<Page> {
+        match &mut self.index {
+            PageIndex::Indexed {
+                map,
+                slab,
+                free_ids,
+                ..
+            } => {
+                let idx = map.remove(base)? as usize;
+                free_ids.push(idx);
+                slab[idx].take()
+            }
+            PageIndex::Reference {
+                pages,
+                open,
+                sparse,
+            } => {
+                open.remove(&base);
+                sparse.remove(&base);
+                pages.remove(&base)
+            }
+        }
+    }
+
+    /// Updates candidate memberships after a slot of `base` was filled
+    /// (live count went up: memberships can only end).
+    fn note_fill(&mut self, base: u64, slots: usize, sparse_live: usize) {
+        match &mut self.index {
+            // Stale entries are discarded lazily on peek.
+            PageIndex::Indexed { .. } => {}
+            PageIndex::Reference { .. } => self.reindex_reference(base, slots, sparse_live),
+        }
+    }
+
+    /// Updates candidate memberships after a slot of `base` was cleared
+    /// (live count went down by one: memberships can only begin, and only
+    /// at the exact threshold crossing).
+    fn note_clear(&mut self, base: u64, live_now: usize, slots: usize, sparse_live: usize) {
+        match &mut self.index {
+            PageIndex::Indexed {
+                map,
+                slab,
+                open,
+                sparse,
+                ..
+            } => {
+                if live_now + 1 == slots {
+                    open.push(Reverse(base));
+                    Self::maybe_rebuild(map, slab, open, |p| p.live() < slots);
+                }
+                if live_now == sparse_live {
+                    sparse.push(Reverse(base));
+                    Self::maybe_rebuild(map, slab, sparse, |p| p.live() <= sparse_live);
+                }
+            }
+            PageIndex::Reference { .. } => self.reindex_reference(base, slots, sparse_live),
+        }
+    }
+
+    /// The seed membership recomputation (reference arm only).
+    fn reindex_reference(&mut self, base: u64, slots: usize, sparse_live: usize) {
+        let PageIndex::Reference {
+            pages,
+            open,
+            sparse,
+        } = &mut self.index
+        else {
+            unreachable!("reference reindex on indexed arm");
+        };
+        let Some(page) = pages.get(&base) else {
+            open.remove(&base);
+            sparse.remove(&base);
             return;
         };
         let live = page.live();
         if live < slots {
-            self.open.insert(base);
+            open.insert(base);
         } else {
-            self.open.remove(&base);
+            open.remove(&base);
         }
         if live <= sparse_live {
-            self.sparse.insert(base);
+            sparse.insert(base);
         } else {
-            self.sparse.remove(&base);
+            sparse.remove(&base);
+        }
+    }
+
+    /// Lowest base with at least one free slot, if any.
+    fn first_open(&mut self, slots: usize) -> Option<u64> {
+        match &mut self.index {
+            PageIndex::Indexed {
+                map, slab, open, ..
+            } => {
+                while let Some(&Reverse(base)) = open.peek() {
+                    let live = map
+                        .get(base)
+                        .and_then(|idx| slab[idx as usize].as_ref())
+                        .map(Page::live);
+                    if live.is_some_and(|l| l < slots) {
+                        return Some(base);
+                    }
+                    open.pop();
+                }
+                None
+            }
+            PageIndex::Reference { open, .. } => open.first().copied(),
+        }
+    }
+
+    /// Lowest evacuation-candidate base, if any.
+    fn first_sparse(&mut self, sparse_live: usize) -> Option<u64> {
+        match &mut self.index {
+            PageIndex::Indexed {
+                map, slab, sparse, ..
+            } => {
+                while let Some(&Reverse(base)) = sparse.peek() {
+                    let live = map
+                        .get(base)
+                        .and_then(|idx| slab[idx as usize].as_ref())
+                        .map(Page::live);
+                    if live.is_some_and(|l| l <= sparse_live) {
+                        return Some(base);
+                    }
+                    sparse.pop();
+                }
+                None
+            }
+            PageIndex::Reference { sparse, .. } => sparse.first().copied(),
+        }
+    }
+
+    /// Rebuilds a candidate heap from ground truth once stale/duplicate
+    /// entries outnumber live pages 4:1.
+    fn maybe_rebuild(
+        map: &AddrMap,
+        slab: &[Option<Page>],
+        heap: &mut BinaryHeap<Reverse<u64>>,
+        member: impl Fn(&Page) -> bool,
+    ) {
+        if heap.len() <= 4 * map.len() + 8 {
+            return;
+        }
+        heap.clear();
+        for (base, idx) in map.iter() {
+            if slab[idx as usize].as_ref().is_some_and(&member) {
+                heap.push(Reverse(base));
+            }
         }
     }
 
     #[cfg(test)]
-    fn recount_free_slots(&mut self, slots: usize) {
-        self.free_slots = self.pages.values().map(|p| slots - p.live()).sum();
+    fn snapshot(&self) -> Vec<(u64, Page)> {
+        let mut out: Vec<(u64, Page)> = match &self.index {
+            PageIndex::Indexed { map, slab, .. } => map
+                .iter()
+                .map(|(base, idx)| (base, slab[idx as usize].clone().expect("mapped page")))
+                .collect(),
+            PageIndex::Reference { pages, .. } => {
+                pages.iter().map(|(&b, p)| (b, p.clone())).collect()
+            }
+        };
+        out.sort_by_key(|&(b, _)| b);
+        out
+    }
+
+    #[cfg(test)]
+    fn open_contains(&self, base: u64, slots: usize) -> bool {
+        match &self.index {
+            PageIndex::Indexed { open, .. } => {
+                self.page(base).is_some_and(|p| p.live() < slots)
+                    && open.iter().any(|&Reverse(b)| b == base)
+            }
+            PageIndex::Reference { open, .. } => open.contains(&base),
+        }
+    }
+
+    #[cfg(test)]
+    fn sparse_contains(&self, base: u64, sparse_live: usize) -> bool {
+        match &self.index {
+            PageIndex::Indexed { sparse, .. } => {
+                self.page(base).is_some_and(|p| p.live() <= sparse_live)
+                    && sparse.iter().any(|&Reverse(b)| b == base)
+            }
+            PageIndex::Reference { sparse, .. } => sparse.contains(&base),
+        }
+    }
+
+    /// No candidate entry points at a missing page (reference arm), and
+    /// the slab/map stay coherent (indexed arm).
+    #[cfg(test)]
+    fn check_structure(&self) {
+        match &self.index {
+            PageIndex::Indexed {
+                map,
+                slab,
+                free_ids,
+                ..
+            } => {
+                let live_slots = slab.iter().filter(|s| s.is_some()).count();
+                assert_eq!(map.len(), live_slots, "map and slab agree");
+                assert_eq!(slab.len(), live_slots + free_ids.len());
+                for (_, idx) in map.iter() {
+                    assert!(slab[idx as usize].is_some(), "mapped slot is live");
+                }
+            }
+            PageIndex::Reference {
+                pages,
+                open,
+                sparse,
+            } => {
+                for base in open.iter().chain(sparse) {
+                    assert!(pages.contains_key(base));
+                }
+            }
+        }
     }
 }
 
@@ -162,7 +471,7 @@ pub struct PageManager {
 
 impl PageManager {
     /// Creates a manager for compaction bound `c` serving classes
-    /// `2^0 ..= 2^max_order`.
+    /// `2^0 ..= 2^max_order` on the default mirror impl.
     ///
     /// `c` does not parameterize the manager's structure — the c-partial
     /// constraint is enforced move-by-move through the heap's budget
@@ -177,6 +486,18 @@ impl PageManager {
         Self::with_geometry(c, max_order, SLOTS_PER_PAGE as usize)
     }
 
+    /// [`new`](Self::new) with an explicit mirror impl.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c < 2` or `max_order >= 46`.
+    pub fn with_mirror(c: u64, max_order: u32, mirror: MirrorImpl) -> Self {
+        match Self::try_with_mirror(c, max_order, mirror) {
+            Ok(manager) => manager,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Like [`new`](Self::new), but reports invalid parameters as a
     /// [`PageGeometryError`] instead of panicking — the harness-facing
     /// constructor, where a user's parameter mistake must become a clean
@@ -187,6 +508,19 @@ impl PageManager {
     /// Returns [`PageGeometryError`] if `c < 2` or `max_order >= 46`.
     pub fn try_new(c: u64, max_order: u32) -> Result<Self, PageGeometryError> {
         Self::try_with_geometry(c, max_order, SLOTS_PER_PAGE as usize)
+    }
+
+    /// [`try_new`](Self::try_new) with an explicit mirror impl.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageGeometryError`] if `c < 2` or `max_order >= 46`.
+    pub fn try_with_mirror(
+        c: u64,
+        max_order: u32,
+        mirror: MirrorImpl,
+    ) -> Result<Self, PageGeometryError> {
+        Self::build(c, max_order, SLOTS_PER_PAGE as usize, mirror)
     }
 
     /// Creates a manager with `slots` objects per page instead of the
@@ -216,6 +550,15 @@ impl PageManager {
         max_order: u32,
         slots: usize,
     ) -> Result<Self, PageGeometryError> {
+        Self::build(c, max_order, slots, MirrorImpl::default())
+    }
+
+    fn build(
+        c: u64,
+        max_order: u32,
+        slots: usize,
+        mirror: MirrorImpl,
+    ) -> Result<Self, PageGeometryError> {
         if c < 2 {
             return Err(PageGeometryError::BoundTooSmall { c });
         }
@@ -226,8 +569,8 @@ impl PageManager {
             return Err(PageGeometryError::BadSlots { slots });
         }
         Ok(PageManager {
-            classes: vec![ClassState::default(); max_order as usize + 1],
-            pool: FreeSpace::new(),
+            classes: (0..=max_order).map(|_| ClassState::new(mirror)).collect(),
+            pool: FreeSpace::with_impl(mirror),
             max_order,
             slots,
             sparse_live: slots / 4,
@@ -260,41 +603,44 @@ impl PageManager {
 
     /// Places into an open page of class `k`, if any.
     fn place_in_open(&mut self, k: u32, id: ObjectId) -> Option<Addr> {
+        let slots = self.slots;
+        let sparse_live = self.sparse_live;
         let class = &mut self.classes[k as usize];
-        let &base = class.open.first()?;
-        let page = class.pages.get_mut(&base).expect("open page exists");
+        let base = class.first_open(slots)?;
+        let page = class.page_mut(base).expect("open page exists");
         let slot = page.first_free_slot().expect("page in open set has a slot");
         page.slots[slot] = Some(id);
         class.free_slots -= 1;
-        class.reindex(base, self.slots, self.sparse_live);
+        class.note_fill(base, slots, sparse_live);
         Some(Self::slot_addr(base, k, slot))
     }
 
     /// Tries to evacuate one sparse page, returning whether a page was
     /// freed into the pool.
     ///
-    /// Every sparse page holds exactly [`SPARSE_LIVE`] live slot(s) (empty
+    /// Every sparse page holds at most `sparse_live` live slot(s) (empty
     /// pages are released eagerly), so a class is viable iff it has a
-    /// sparse page, at least [`SLOTS_PER_PAGE`] free slots overall (the
-    /// survivor fits elsewhere), and the budget covers one object — an
-    /// O(classes) scan. Larger classes are tried first: they return the
-    /// most space per eviction.
+    /// sparse page, enough free slots elsewhere (the survivors fit), and
+    /// the budget covers the move — an O(classes) scan. Larger classes are
+    /// tried first: they return the most space per eviction.
     fn evict_one(&mut self, ops: &mut HeapOps<'_, '_>) -> Result<bool, PlacementError> {
+        let slots = self.slots;
+        let sparse_live = self.sparse_live;
         let mut pick: Option<(u32, u64)> = None;
-        for (k, class) in self.classes.iter().enumerate().rev() {
-            let k = k as u32;
-            let Some(&base) = class.sparse.first() else {
+        for k in (0..self.classes.len()).rev() {
+            let class = &mut self.classes[k];
+            let Some(base) = class.first_sparse(sparse_live) else {
                 continue;
             };
-            let live = class.pages[&base].live();
-            let spare_elsewhere = class.free_slots - (self.slots - live);
+            let live = class.page(base).expect("sparse page exists").live();
+            let spare_elsewhere = class.free_slots - (slots - live);
             if spare_elsewhere < live {
                 continue;
             }
             if !ops.can_move(Size::new(live as u64 * (1u64 << k))) {
                 continue;
             }
-            pick = Some((k, base));
+            pick = Some((k as u32, base));
             break;
         }
         let Some((k, base)) = pick else {
@@ -320,9 +666,8 @@ impl PageManager {
         ops: &mut HeapOps<'_, '_>,
     ) -> Result<(), PlacementError> {
         let class = &mut self.classes[k as usize];
-        let page = class.pages.remove(&base).expect("victim page exists");
+        let page = class.remove_page(base).expect("victim page exists");
         class.free_slots -= self.slots - page.live();
-        class.reindex(base, self.slots, self.sparse_live);
         for occupant in page.slots.iter() {
             let Some(id) = *occupant else { continue };
             if !ops.heap().is_live(id) {
@@ -365,9 +710,8 @@ impl PageManager {
         let slots = self.slots;
         let sparse_live = self.sparse_live;
         let class = &mut self.classes[k as usize];
-        class.pages.insert(base, Page::new(slots));
+        class.insert_page(base, Page::new(slots), slots, sparse_live);
         class.free_slots += slots;
-        class.reindex(base, slots, sparse_live);
     }
 
     fn clear_slot(&mut self, addr: Addr, size: Size) {
@@ -377,20 +721,20 @@ impl PageManager {
         let sparse_live = self.sparse_live;
         let base = addr.align_down(words).get();
         let class = &mut self.classes[k as usize];
-        let Some(page) = class.pages.get_mut(&base) else {
+        let Some(page) = class.page_mut(base) else {
             // The slot's page was already evacuated/released.
             return;
         };
         let slot = ((addr.get() - base) >> k) as usize;
         page.slots[slot] = None;
+        let live = page.live();
         class.free_slots += 1;
-        if page.live() == 0 {
-            class.pages.remove(&base);
+        if live == 0 {
+            class.remove_page(base);
             class.free_slots -= slots;
-            class.reindex(base, slots, sparse_live);
             self.pool.release(Addr::new(base), Size::new(words));
         } else {
-            class.reindex(base, slots, sparse_live);
+            class.note_clear(base, live, slots, sparse_live);
         }
     }
 
@@ -399,23 +743,21 @@ impl PageManager {
     #[cfg(test)]
     fn check_consistency(&self) {
         for (k, class) in self.classes.iter().enumerate() {
-            let mut expect = class.clone();
-            expect.recount_free_slots(self.slots);
-            assert_eq!(class.free_slots, expect.free_slots, "class {k}");
-            for (&base, page) in &class.pages {
+            class.check_structure();
+            let snapshot = class.snapshot();
+            let free: usize = snapshot.iter().map(|(_, p)| self.slots - p.live()).sum();
+            assert_eq!(class.free_slots, free, "class {k}");
+            for (base, page) in &snapshot {
                 assert_eq!(
-                    class.open.contains(&base),
+                    class.open_contains(*base, self.slots),
                     page.live() < self.slots,
                     "class {k} base {base} open"
                 );
                 assert_eq!(
-                    class.sparse.contains(&base),
+                    class.sparse_contains(*base, self.sparse_live),
                     page.live() <= self.sparse_live,
                     "class {k} base {base} sparse"
                 );
-            }
-            for &base in class.open.iter().chain(&class.sparse) {
-                assert!(class.pages.contains_key(&base));
             }
         }
     }
@@ -435,6 +777,10 @@ impl MemoryManager for PageManager {
             .enumerate()
             .map(|(k, class)| (class.free_slots as u64) << k)
             .sum()
+    }
+
+    fn publish_metrics(&self) {
+        self.pool.publish_metrics();
     }
 
     fn place(
@@ -459,10 +805,15 @@ impl MemoryManager for PageManager {
         // needed page (or nothing more can be evacuated), then grow from
         // the (possibly replenished) pool.
         let before = self.evictions;
-        while self.classes[k as usize].open.is_empty()
-            && !self.pool_has_room(k)
-            && self.evict_one(ops)?
-        {}
+        loop {
+            let slots = self.slots;
+            if self.classes[k as usize].first_open(slots).is_some() || self.pool_has_room(k) {
+                break;
+            }
+            if !self.evict_one(ops)? {
+                break;
+            }
+        }
         ops.stat_add("pages.evictions", self.evictions - before);
         if let Some(addr) = self.place_in_open(k, req.id) {
             ops.stat_add("pages.open_serves", 1);
@@ -488,14 +839,20 @@ mod tests {
 
     #[test]
     fn pages_fill_before_growing() {
-        let program = ScriptedProgram::new(Size::new(1024)).round([], [8, 8, 8, 8, 8]);
-        let mut exec = Execution::new(Heap::new(10), program, PageManager::new(10, 10));
-        let report = exec.run().unwrap();
-        // First four share one 32-word page; the fifth starts a second page
-        // at 32 (HS counts used words, so the span ends at 32 + 8).
-        assert_eq!(report.heap_size, 40);
-        let (_, _, manager) = exec.into_parts();
-        manager.check_consistency();
+        for mirror in MirrorImpl::ALL {
+            let program = ScriptedProgram::new(Size::new(1024)).round([], [8, 8, 8, 8, 8]);
+            let mut exec = Execution::new(
+                Heap::new(10),
+                program,
+                PageManager::with_mirror(10, 10, mirror),
+            );
+            let report = exec.run().unwrap();
+            // First four share one 32-word page; the fifth starts a second
+            // page at 32 (HS counts used words, so the span ends at 32+8).
+            assert_eq!(report.heap_size, 40);
+            let (_, _, manager) = exec.into_parts();
+            manager.check_consistency();
+        }
     }
 
     #[test]
@@ -511,17 +868,23 @@ mod tests {
 
     #[test]
     fn empty_pages_return_to_the_pool_for_other_classes() {
-        let program = ScriptedProgram::new(Size::new(1024))
-            .round([], [8, 8, 8, 8]) // one 32-word page, full
-            .round([0, 1, 2, 3], [2, 2]); // page empties; class 1 reuses it
-        let mut exec = Execution::new(Heap::new(10), program, PageManager::new(10, 10));
-        let report = exec.run().unwrap();
-        assert_eq!(
-            report.heap_size, 32,
-            "the emptied class-3 page houses the class-1 page"
-        );
-        let (_, _, manager) = exec.into_parts();
-        manager.check_consistency();
+        for mirror in MirrorImpl::ALL {
+            let program = ScriptedProgram::new(Size::new(1024))
+                .round([], [8, 8, 8, 8]) // one 32-word page, full
+                .round([0, 1, 2, 3], [2, 2]); // page empties; class 1 reuses it
+            let mut exec = Execution::new(
+                Heap::new(10),
+                program,
+                PageManager::with_mirror(10, 10, mirror),
+            );
+            let report = exec.run().unwrap();
+            assert_eq!(
+                report.heap_size, 32,
+                "the emptied class-3 page houses the class-1 page"
+            );
+            let (_, _, manager) = exec.into_parts();
+            manager.check_consistency();
+        }
     }
 
     #[test]
@@ -530,16 +893,22 @@ mod tests {
         // pool), then two full class-0 pages; free six of the eight ones
         // to leave two sparse pages, then demand class-2 pages. With the
         // pool empty, eviction must fire.
-        let program = ScriptedProgram::new(Size::new(1024))
-            .round([], [16, 16, 1, 1, 1, 1, 1, 1, 1, 1])
-            .round([3, 4, 5, 6, 7, 8], [4, 4, 4, 4, 4]);
-        let mut exec = Execution::new(Heap::new(10), program, PageManager::new(10, 10));
-        let report = exec.run().unwrap();
-        let (_, _, manager) = exec.into_parts();
-        manager.check_consistency();
-        assert!(manager.evictions() >= 1, "eviction should have triggered");
-        assert!(report.objects_moved >= 1);
-        assert!(report.moved_fraction <= 0.1 + 1e-12);
+        for mirror in MirrorImpl::ALL {
+            let program = ScriptedProgram::new(Size::new(1024))
+                .round([], [16, 16, 1, 1, 1, 1, 1, 1, 1, 1])
+                .round([3, 4, 5, 6, 7, 8], [4, 4, 4, 4, 4]);
+            let mut exec = Execution::new(
+                Heap::new(10),
+                program,
+                PageManager::with_mirror(10, 10, mirror),
+            );
+            let report = exec.run().unwrap();
+            let (_, _, manager) = exec.into_parts();
+            manager.check_consistency();
+            assert!(manager.evictions() >= 1, "eviction should have triggered");
+            assert!(report.objects_moved >= 1);
+            assert!(report.moved_fraction <= 0.1 + 1e-12);
+        }
     }
 
     #[test]
@@ -615,5 +984,42 @@ mod tests {
         manager.check_consistency();
         assert!(manager.evictions() >= 1);
         assert!(report.moved_fraction <= 0.2 + 1e-12);
+    }
+
+    #[test]
+    fn page_arms_stay_in_lockstep() {
+        // Heavy churn across classes, with eviction pressure: both arms
+        // must produce identical reports and eviction counts.
+        let mut program = ScriptedProgram::new(Size::new(1 << 16));
+        let mut base = 0usize;
+        for r in 0..20u64 {
+            let sizes: Vec<u64> = (1..=8u64).map(|s| (s * 3 * (r + 1)) % 16 + 1).collect();
+            let frees: Vec<usize> = if base >= 8 {
+                (base - 8..base).filter(|i| i % 4 != 3).collect()
+            } else {
+                Vec::new()
+            };
+            program = program.round(frees, sizes);
+            base += 8;
+        }
+        let mut runs = MirrorImpl::ALL.iter().map(|&mirror| {
+            let mut exec = Execution::new(
+                Heap::new(5),
+                program.clone(),
+                PageManager::with_mirror(5, 8, mirror),
+            );
+            let report = exec.run().expect("pages survive churn");
+            let (_, _, manager) = exec.into_parts();
+            manager.check_consistency();
+            (
+                format!("{report:?}"),
+                manager.evictions(),
+                manager.internal_waste(),
+            )
+        });
+        let first = runs.next().unwrap();
+        for other in runs {
+            assert_eq!(first, other);
+        }
     }
 }

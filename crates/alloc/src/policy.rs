@@ -27,11 +27,16 @@ pub struct FreeListManager {
 }
 
 impl FreeListManager {
-    /// Creates a manager with the given policy.
+    /// Creates a manager with the given policy on the default mirror impl.
     pub fn new(policy: FitPolicy) -> Self {
+        Self::with_mirror(policy, crate::MirrorImpl::default())
+    }
+
+    /// [`new`](Self::new) with an explicit mirror impl.
+    pub fn with_mirror(policy: FitPolicy, mirror: crate::MirrorImpl) -> Self {
         FreeListManager {
             policy,
-            space: FreeSpace::new(),
+            space: FreeSpace::with_impl(mirror),
             cursor: Addr::ZERO,
         }
     }
@@ -86,6 +91,10 @@ impl MemoryManager for FreeListManager {
 
     fn note_free(&mut self, _id: ObjectId, addr: Addr, size: Size) {
         self.space.release(addr, size);
+    }
+
+    fn publish_metrics(&self) {
+        self.space.publish_metrics();
     }
 
     /// The free list is a redundant mirror of the ground truth: every

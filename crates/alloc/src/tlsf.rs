@@ -13,13 +13,20 @@
 //! This implementation follows the classic structure (first-level index
 //! `fl = ⌊log₂ size⌋`, second-level split into `2^SL_BITS` ranges,
 //! bitmap-guided lookup, immediate coalescing on free) over the
-//! simulated address space.
+//! simulated address space. The bucket index itself follows the
+//! [`MirrorImpl`] knob: the indexed arm keeps lazily-cleaned min-heaps
+//! per bucket behind a real two-level nonempty bitmap (two
+//! find-first-set probes per lookup), while the reference arm retains
+//! the seed `BTreeSet` buckets with a linear `Vec<bool>` scan. Both
+//! choose identical blocks and report identical probe counts.
 
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use pcb_heap::{Addr, AllocRequest, HeapOps, MemoryManager, ObjectId, PlacementError, Size};
 
 use crate::freelist::FreeSpace;
+use crate::MirrorImpl;
 
 /// Second-level subdivision: each power-of-two range splits into
 /// `2^SL_BITS` buckets.
@@ -29,6 +36,10 @@ const SL_COUNT: u32 = 1 << SL_BITS;
 const FL_SHIFT: u32 = SL_BITS;
 /// First-level buckets (supports sizes up to `2^(FL_MAX + FL_SHIFT)`).
 const FL_MAX: u32 = 40;
+/// Total buckets.
+const BUCKETS: usize = (FL_MAX * SL_COUNT) as usize;
+/// Words in the indexed arm's nonempty bitmap.
+const BITMAP_WORDS: usize = BUCKETS.div_ceil(64);
 
 /// A non-moving TLSF (good-fit, two-level segregated) manager.
 ///
@@ -39,13 +50,30 @@ const FL_MAX: u32 = 40;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TlsfManager {
-    /// Free blocks per (fl, sl) bucket, address-ordered.
-    buckets: Vec<BTreeSet<(u64, u64)>>, // (start, len)
-    /// Which buckets are non-empty (one bit per (fl, sl)).
-    nonempty: Vec<bool>,
+    index: BucketIndex,
     /// Ground-level bookkeeping shared with the rest of the suite (used
     /// only for coalescing lookups, not for placement decisions).
     mirror: FreeSpace,
+}
+
+/// The two-level bucket index, in either implementation.
+#[derive(Debug, Clone)]
+enum BucketIndex {
+    /// Lazily-cleaned min-heaps of `(start, len)` per bucket, exact live
+    /// counts, and a two-level nonempty bitmap (`summary` has one bit
+    /// per `words` entry) so a lookup is two find-first-set probes.
+    Indexed {
+        heaps: Vec<BinaryHeap<Reverse<(u64, u64)>>>,
+        counts: Vec<u32>,
+        words: [u64; BITMAP_WORDS],
+        summary: u64,
+    },
+    /// The seed address-ordered `BTreeSet` buckets with a linear
+    /// nonempty scan, retained as the lockstep oracle.
+    Reference {
+        buckets: Vec<BTreeSet<(u64, u64)>>,
+        nonempty: Vec<bool>,
+    },
 }
 
 impl Default for TlsfManager {
@@ -55,13 +83,29 @@ impl Default for TlsfManager {
 }
 
 impl TlsfManager {
-    /// Creates an empty TLSF manager.
+    /// Creates an empty TLSF manager on the default mirror impl.
     pub fn new() -> Self {
-        let buckets = (FL_MAX * SL_COUNT) as usize;
+        Self::with_mirror(MirrorImpl::default())
+    }
+
+    /// Creates an empty TLSF manager on the given mirror impl (both the
+    /// free-space mirror and the bucket index follow the knob).
+    pub fn with_mirror(mirror: MirrorImpl) -> Self {
+        let index = match mirror {
+            MirrorImpl::Indexed => BucketIndex::Indexed {
+                heaps: (0..BUCKETS).map(|_| BinaryHeap::new()).collect(),
+                counts: vec![0; BUCKETS],
+                words: [0; BITMAP_WORDS],
+                summary: 0,
+            },
+            MirrorImpl::Reference => BucketIndex::Reference {
+                buckets: vec![BTreeSet::new(); BUCKETS],
+                nonempty: vec![false; BUCKETS],
+            },
+        };
         TlsfManager {
-            buckets: vec![BTreeSet::new(); buckets],
-            nonempty: vec![false; buckets],
-            mirror: FreeSpace::new(),
+            index,
+            mirror: FreeSpace::with_impl(mirror),
         }
     }
 
@@ -97,69 +141,235 @@ impl TlsfManager {
     fn insert_block(&mut self, start: u64, len: u64) {
         let (fl, sl) = Self::mapping(len);
         let idx = Self::bucket_index(fl, sl);
-        self.buckets[idx].insert((start, len));
-        self.nonempty[idx] = true;
+        match &mut self.index {
+            BucketIndex::Indexed {
+                heaps,
+                counts,
+                words,
+                summary,
+            } => {
+                heaps[idx].push(Reverse((start, len)));
+                counts[idx] += 1;
+                words[idx / 64] |= 1 << (idx % 64);
+                *summary |= 1 << (idx / 64);
+            }
+            BucketIndex::Reference { buckets, nonempty } => {
+                buckets[idx].insert((start, len));
+                nonempty[idx] = true;
+            }
+        }
     }
 
     fn remove_block(&mut self, start: u64, len: u64) {
         let (fl, sl) = Self::mapping(len);
         let idx = Self::bucket_index(fl, sl);
-        let removed = self.buckets[idx].remove(&(start, len));
-        debug_assert!(removed, "block ({start},{len}) indexed");
-        if self.buckets[idx].is_empty() {
-            self.nonempty[idx] = false;
+        match &mut self.index {
+            BucketIndex::Indexed {
+                heaps,
+                counts,
+                words,
+                summary,
+            } => {
+                // Lazy deletion: only the count and bitmap move now; the
+                // stale heap entry is discarded at the next lookup (its
+                // start no longer matches a mirror gap of this length).
+                counts[idx] -= 1;
+                if counts[idx] == 0 {
+                    words[idx / 64] &= !(1 << (idx % 64));
+                    if words[idx / 64] == 0 {
+                        *summary &= !(1 << (idx / 64));
+                    }
+                }
+                let heap = &mut heaps[idx];
+                if heap.len() >= 64 && heap.len() as u64 > 4 * u64::from(counts[idx]) {
+                    let mirror = &self.mirror;
+                    let mut entries = std::mem::take(heap).into_vec();
+                    entries.sort_unstable();
+                    entries.dedup();
+                    entries.retain(|&Reverse((s, l))| {
+                        mirror
+                            .gap_starting_at(Addr::new(s))
+                            .is_some_and(|g| g.size().get() == l)
+                    });
+                    *heap = BinaryHeap::from(entries);
+                }
+            }
+            BucketIndex::Reference { buckets, nonempty } => {
+                let removed = buckets[idx].remove(&(start, len));
+                debug_assert!(removed, "block ({start},{len}) indexed");
+                if buckets[idx].is_empty() {
+                    nonempty[idx] = false;
+                }
+            }
         }
+    }
+
+    /// Lowest-address live block in bucket `idx` of the indexed arm,
+    /// popping stale (lazily deleted) entries on the way.
+    fn indexed_first(
+        heaps: &mut [BinaryHeap<Reverse<(u64, u64)>>],
+        idx: usize,
+        mirror: &FreeSpace,
+    ) -> Option<(u64, u64)> {
+        let heap = &mut heaps[idx];
+        while let Some(&Reverse((start, len))) = heap.peek() {
+            let live = mirror
+                .gap_starting_at(Addr::new(start))
+                .is_some_and(|g| g.size().get() == len);
+            if live {
+                return Some((start, len));
+            }
+            heap.pop();
+        }
+        None
+    }
+
+    /// First nonempty bucket at or after `from` in the indexed arm: one
+    /// probe of the summary word, one of the selected bitmap word.
+    fn first_nonempty_from(
+        words: &[u64; BITMAP_WORDS],
+        summary: u64,
+        from: usize,
+    ) -> Option<usize> {
+        let w0 = from / 64;
+        if w0 >= BITMAP_WORDS {
+            return None;
+        }
+        let m = words[w0] & (!0u64 << (from % 64));
+        if m != 0 {
+            return Some(w0 * 64 + m.trailing_zeros() as usize);
+        }
+        if w0 + 1 >= BITMAP_WORDS {
+            return None;
+        }
+        let ms = summary & (!0u64 << (w0 + 1));
+        if ms == 0 {
+            return None;
+        }
+        let w = ms.trailing_zeros() as usize;
+        Some(w * 64 + words[w].trailing_zeros() as usize)
     }
 
     /// Finds a block of at least `size` words: first non-empty bucket at
     /// or above the search mapping.
-    fn find_block(&self, size: u64) -> Option<(u64, u64)> {
+    fn find_block(&mut self, size: u64) -> Option<(u64, u64)> {
         let (fl, sl) = Self::search_mapping(size);
         let from = Self::bucket_index(fl, sl);
-        self.nonempty[from..]
-            .iter()
-            .position(|&ne| ne)
-            .and_then(|off| self.buckets[from + off].first().copied())
-            .filter(|&(_, len)| len >= size)
+        match &mut self.index {
+            BucketIndex::Indexed {
+                heaps,
+                words,
+                summary,
+                ..
+            } => Self::first_nonempty_from(words, *summary, from)
+                .and_then(|idx| Self::indexed_first(heaps, idx, &self.mirror))
+                .filter(|&(_, len)| len >= size),
+            BucketIndex::Reference { buckets, nonempty } => nonempty[from..]
+                .iter()
+                .position(|&ne| ne)
+                .and_then(|off| buckets[from + off].first().copied())
+                .filter(|&(_, len)| len >= size),
+        }
     }
 
     /// [`find_block`](Self::find_block) plus the number of bucket slots
-    /// the bitmap scan examined (the classic implementation's two
-    /// find-first-set instructions become a linear bitmap walk here, so
-    /// the count is the honest cost of the lookup). Chooses exactly the
-    /// same block.
-    fn find_block_traced(&self, size: u64) -> (Option<(u64, u64)>, u64) {
+    /// a linear nonempty scan would examine (the reference arm's honest
+    /// lookup cost; the indexed arm derives the identical count from its
+    /// bitmap in O(1)). Chooses exactly the same block.
+    fn find_block_traced(&mut self, size: u64) -> (Option<(u64, u64)>, u64) {
         let (fl, sl) = Self::search_mapping(size);
         let from = Self::bucket_index(fl, sl);
-        match self.nonempty[from..].iter().position(|&ne| ne) {
-            Some(off) => {
-                let found = self.buckets[from + off]
-                    .first()
-                    .copied()
-                    .filter(|&(_, len)| len >= size);
-                (found, off as u64 + 1)
+        match &mut self.index {
+            BucketIndex::Indexed {
+                heaps,
+                words,
+                summary,
+                ..
+            } => match Self::first_nonempty_from(words, *summary, from) {
+                Some(idx) => {
+                    let found = Self::indexed_first(heaps, idx, &self.mirror)
+                        .filter(|&(_, len)| len >= size);
+                    (found, (idx - from) as u64 + 1)
+                }
+                None => (None, (BUCKETS - from) as u64),
+            },
+            BucketIndex::Reference { buckets, nonempty } => {
+                match nonempty[from..].iter().position(|&ne| ne) {
+                    Some(off) => {
+                        let found = buckets[from + off]
+                            .first()
+                            .copied()
+                            .filter(|&(_, len)| len >= size);
+                        (found, off as u64 + 1)
+                    }
+                    None => (None, (nonempty.len() - from) as u64),
+                }
             }
-            None => (None, (self.nonempty.len() - from) as u64),
         }
     }
 
     /// Total free words indexed (diagnostics).
     pub fn indexed_free_words(&self) -> u64 {
-        self.buckets
-            .iter()
-            .flat_map(|b| b.iter())
-            .map(|&(_, len)| len)
-            .sum()
+        match &self.index {
+            BucketIndex::Indexed { heaps, .. } => {
+                // Deduplicate and validate lazily-deleted entries.
+                let live: BTreeSet<(u64, u64)> = heaps
+                    .iter()
+                    .flat_map(|h| h.iter())
+                    .map(|&Reverse(e)| e)
+                    .filter(|&(s, l)| {
+                        self.mirror
+                            .gap_starting_at(Addr::new(s))
+                            .is_some_and(|g| g.size().get() == l)
+                    })
+                    .collect();
+                live.iter().map(|&(_, len)| len).sum()
+            }
+            BucketIndex::Reference { buckets, .. } => buckets
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(|&(_, len)| len)
+                .sum(),
+        }
     }
 
     /// Internal-consistency check for tests.
     #[cfg(test)]
     fn check_consistency(&self) {
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            assert_eq!(self.nonempty[idx], !bucket.is_empty(), "bitmap at {idx}");
-            for &(start, len) in bucket {
-                let (fl, sl) = Self::mapping(len);
-                assert_eq!(Self::bucket_index(fl, sl), idx, "({start},{len}) misfiled");
+        match &self.index {
+            BucketIndex::Indexed {
+                counts,
+                words,
+                summary,
+                heaps,
+            } => {
+                let mut live = vec![0u32; BUCKETS];
+                for g in self.mirror.gaps() {
+                    let (fl, sl) = Self::mapping(g.size().get());
+                    let idx = Self::bucket_index(fl, sl);
+                    live[idx] += 1;
+                    let present = heaps[idx]
+                        .iter()
+                        .any(|&Reverse(e)| e == (g.start().get(), g.size().get()));
+                    assert!(present, "gap {g:?} missing from bucket {idx}");
+                }
+                for idx in 0..BUCKETS {
+                    assert_eq!(counts[idx], live[idx], "count at {idx}");
+                    let bit = (words[idx / 64] >> (idx % 64)) & 1 == 1;
+                    assert_eq!(bit, counts[idx] > 0, "bitmap at {idx}");
+                }
+                for (w, &word) in words.iter().enumerate() {
+                    assert_eq!((summary >> w) & 1 == 1, word != 0, "summary at {w}");
+                }
+            }
+            BucketIndex::Reference { buckets, nonempty } => {
+                for (idx, bucket) in buckets.iter().enumerate() {
+                    assert_eq!(nonempty[idx], !bucket.is_empty(), "bitmap at {idx}");
+                    for &(start, len) in bucket {
+                        let (fl, sl) = Self::mapping(len);
+                        assert_eq!(Self::bucket_index(fl, sl), idx, "({start},{len}) misfiled");
+                    }
+                }
             }
         }
         assert_eq!(self.indexed_free_words(), self.mirror.gap_words().get());
@@ -183,6 +393,17 @@ impl MemoryManager for TlsfManager {
             ops.stat_add("tlsf.placements", 1);
             ops.stat_record("tlsf.probes", probes);
             ops.stat_record("alloc.size", size);
+            if pcb_metrics::enabled() {
+                static SCANS: pcb_metrics::Counter =
+                    pcb_metrics::Counter::new("manager.bucket_scan_len");
+                SCANS.add(probes);
+            }
+            found
+        } else if pcb_metrics::enabled() {
+            let (found, probes) = self.find_block_traced(size);
+            static SCANS: pcb_metrics::Counter =
+                pcb_metrics::Counter::new("manager.bucket_scan_len");
+            SCANS.add(probes);
             found
         } else {
             self.find_block(size)
@@ -219,8 +440,7 @@ impl MemoryManager for TlsfManager {
 
     fn note_free(&mut self, _id: ObjectId, addr: Addr, size: Size) {
         // Coalesce through the mirror: de-index the adjacent gaps, release
-        // into the mirror, then (re)index whatever merged gap results —
-        // all O(log gaps).
+        // into the mirror, then (re)index whatever merged gap results.
         if let Some(g) = self.mirror.gap_ending_at(addr) {
             self.remove_block(g.start().get(), g.size().get());
         }
@@ -232,6 +452,10 @@ impl MemoryManager for TlsfManager {
         if let Some(g) = self.mirror.gap_containing(addr) {
             self.insert_block(g.start().get(), g.size().get());
         }
+    }
+
+    fn publish_metrics(&self) {
+        self.mirror.publish_metrics();
     }
 }
 
@@ -261,52 +485,66 @@ mod tests {
     fn good_fit_blocks_always_fit() {
         // Any block found via search_mapping must be large enough: seed
         // non-adjacent gaps of varied sizes, then probe every size.
-        let mut m = TlsfManager::new();
-        let taken = m.mirror.take_exact(Addr::new(0), Size::new(400));
-        assert!(taken);
-        for (start, len) in [(0u64, 5u64), (10, 8), (20, 13), (40, 64), (110, 200)] {
-            m.mirror.release(Addr::new(start), Size::new(len));
-            m.insert_block(start, len);
-        }
-        for size in 1..300u64 {
-            if let Some((_, len)) = m.find_block(size) {
-                assert!(len >= size, "found {len} for request {size}");
+        for mirror in MirrorImpl::ALL {
+            let mut m = TlsfManager::with_mirror(mirror);
+            let taken = m.mirror.take_exact(Addr::new(0), Size::new(400));
+            assert!(taken);
+            for (start, len) in [(0u64, 5u64), (10, 8), (20, 13), (40, 64), (110, 200)] {
+                m.mirror.release(Addr::new(start), Size::new(len));
+                m.insert_block(start, len);
+            }
+            for size in 1..300u64 {
+                if let Some((_, len)) = m.find_block(size) {
+                    assert!(len >= size, "found {len} for request {size}");
+                }
             }
         }
     }
 
     #[test]
     fn serves_scripts_and_reuses_space() {
-        let program = ScriptedProgram::new(Size::new(1024))
-            .round([], [8, 8, 8, 8])
-            .round([1, 2], [16, 4]);
-        let mut exec = Execution::new(Heap::non_moving(), program, TlsfManager::new());
-        let report = exec.run().expect("tlsf serves the script");
-        assert_eq!(report.objects_placed, 6);
-        // The coalesced 16-word hole [8,24) absorbs the 16-word request.
-        assert_eq!(report.heap_size, 36);
-        let (_, _, manager) = exec.into_parts();
-        manager.check_consistency();
+        for mirror in MirrorImpl::ALL {
+            let program = ScriptedProgram::new(Size::new(1024))
+                .round([], [8, 8, 8, 8])
+                .round([1, 2], [16, 4]);
+            let mut exec = Execution::new(
+                Heap::non_moving(),
+                program,
+                TlsfManager::with_mirror(mirror),
+            );
+            let report = exec.run().expect("tlsf serves the script");
+            assert_eq!(report.objects_placed, 6);
+            // The coalesced 16-word hole [8,24) absorbs the 16-word request.
+            assert_eq!(report.heap_size, 36);
+            let (_, _, manager) = exec.into_parts();
+            manager.check_consistency();
+        }
     }
 
     #[test]
     fn interleaved_churn_keeps_index_consistent() {
-        let mut program = ScriptedProgram::new(Size::new(4096));
-        let mut base = 0usize;
-        for r in 0..12 {
-            let sizes: Vec<u64> = (1..=16u64).map(|s| (s * (r + 1)) % 37 + 1).collect();
-            let frees: Vec<usize> = if base > 0 {
-                (base - 16..base).step_by(2).collect()
-            } else {
-                Vec::new()
-            };
-            program = program.round(frees, sizes);
-            base += 16;
+        for mirror in MirrorImpl::ALL {
+            let mut program = ScriptedProgram::new(Size::new(4096));
+            let mut base = 0usize;
+            for r in 0..12 {
+                let sizes: Vec<u64> = (1..=16u64).map(|s| (s * (r + 1)) % 37 + 1).collect();
+                let frees: Vec<usize> = if base > 0 {
+                    (base - 16..base).step_by(2).collect()
+                } else {
+                    Vec::new()
+                };
+                program = program.round(frees, sizes);
+                base += 16;
+            }
+            let mut exec = Execution::new(
+                Heap::non_moving(),
+                program,
+                TlsfManager::with_mirror(mirror),
+            );
+            exec.run().expect("tlsf survives churn");
+            let (_, _, manager) = exec.into_parts();
+            manager.check_consistency();
         }
-        let mut exec = Execution::new(Heap::non_moving(), program, TlsfManager::new());
-        exec.run().expect("tlsf survives churn");
-        let (_, _, manager) = exec.into_parts();
-        manager.check_consistency();
     }
 
     #[test]
@@ -325,5 +563,42 @@ mod tests {
         );
         let (_, _, manager) = exec.into_parts();
         manager.check_consistency();
+    }
+
+    #[test]
+    fn bucket_arms_stay_in_lockstep() {
+        // Identical churn through both bucket implementations: every
+        // placement and probe count must agree.
+        let mut program = ScriptedProgram::new(Size::new(1 << 20));
+        let mut base = 0usize;
+        for r in 0..20u64 {
+            let sizes: Vec<u64> = (1..=24u64).map(|s| (s * 13 * (r + 1)) % 700 + 1).collect();
+            let frees: Vec<usize> = if base >= 24 {
+                (base - 24..base).step_by(3).collect()
+            } else {
+                Vec::new()
+            };
+            program = program.round(frees, sizes);
+            base += 24;
+        }
+        let mut a = Execution::new(
+            Heap::non_moving(),
+            program.clone(),
+            TlsfManager::with_mirror(MirrorImpl::Indexed),
+        )
+        .with_stats();
+        let mut b = Execution::new(
+            Heap::non_moving(),
+            program,
+            TlsfManager::with_mirror(MirrorImpl::Reference),
+        )
+        .with_stats();
+        let ra = a.run().expect("indexed runs");
+        let rb = b.run().expect("reference runs");
+        assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+        let (_, _, ma) = a.into_parts();
+        ma.check_consistency();
+        let (_, _, mb) = b.into_parts();
+        mb.check_consistency();
     }
 }

@@ -1,0 +1,343 @@
+//! Before/after benchmark of the manager mirrors (`PCB_MIRROR`).
+//!
+//! Two families of cells, both run once per [`MirrorImpl`]:
+//!
+//! 1. **Op cells** drive a bare [`FreeSpace`] with a deterministic
+//!    synthetic churn stream — takes under each fit discipline plus the
+//!    aligned (buddy-style) path, interleaved with releases of random
+//!    live extents. This isolates exactly the structures the indexed
+//!    mirror replaces (the address-ordered hole mirror and the size
+//!    index), best-of-N, with a checksum of every returned address
+//!    asserting the two impls answer identically op for op.
+//! 2. **E2e cells** run the full `P_F` simulation against every manager
+//!    in the suite on each mirror and assert the two `SimReport`s
+//!    serialize byte-identically (the mirror must be invisible in the
+//!    results) before comparing wall clock.
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin alloc_bench [-- --smoke] [-- --out <path>]
+//! ```
+//!
+//! `--smoke` shrinks every cell (CI); both modes run the *same number*
+//! of cells so `pcb bench diff` can structure-check a smoke artifact
+//! against the checked-in full baseline at `BENCH_alloc.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use partial_compaction::alloc::{FitPolicy, FreeSpace};
+use partial_compaction::heap::{Addr, Recorder, Size};
+use partial_compaction::{parallel, sim, ManagerKind, MirrorImpl, Params};
+use pcb_json::{Json, ToJson};
+
+/// How an op cell turns a size into a take against the mirror.
+#[derive(Clone, Copy)]
+enum TakeMode {
+    /// `take(size, policy)` under a fixed fit discipline.
+    Policy(FitPolicy),
+    /// `take_next_fit(size, &mut cursor)` with a rolling cursor.
+    NextFit,
+    /// `take_aligned(size, size)` on power-of-two sizes — the buddy
+    /// path, under the buddy invariant (carves stay aligned; a
+    /// non-aligned churn stream would degenerate both impls into full
+    /// address scans no aligned-path manager ever produces).
+    Aligned,
+}
+
+/// One mirror-op benchmark cell.
+struct OpCell {
+    name: &'static str,
+    mode: TakeMode,
+}
+
+fn op_cells() -> Vec<OpCell> {
+    vec![
+        OpCell {
+            name: "churn/first-fit",
+            mode: TakeMode::Policy(FitPolicy::FirstFit),
+        },
+        OpCell {
+            name: "churn/best-fit",
+            mode: TakeMode::Policy(FitPolicy::BestFit),
+        },
+        OpCell {
+            name: "churn/worst-fit",
+            mode: TakeMode::Policy(FitPolicy::WorstFit),
+        },
+        OpCell {
+            name: "churn/next-fit",
+            mode: TakeMode::NextFit,
+        },
+        OpCell {
+            name: "churn/aligned",
+            mode: TakeMode::Aligned,
+        },
+    ]
+}
+
+/// One operation of the synthetic churn stream.
+#[derive(Clone, Copy)]
+enum MirrorOp {
+    /// Take `size` words (the cell's [`TakeMode`] decides how).
+    Take(u64),
+    /// Release the `pick % live`-th live extent.
+    Release(usize),
+}
+
+/// xorshift64: deterministic sizes and release picks without a rand dep.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// A churn stream: a pure-take warmup builds a fragmented live set, then
+/// takes and releases alternate evenly so the live population (and thus
+/// the gap structure the mirror must index) stays at its high-water
+/// level for the rest of the run. Sizes skew small with an occasional
+/// large outlier, like the paper's powers-of-two size classes.
+fn churn_stream(total: usize, seed: u64) -> Vec<MirrorOp> {
+    let mut rng = Rng(seed);
+    let warmup = total / 8;
+    let mut ops = Vec::with_capacity(total);
+    for i in 0..total {
+        let r = rng.next();
+        let take = i < warmup || r.is_multiple_of(2);
+        if take {
+            let size = if r.is_multiple_of(29) {
+                1 + (r >> 8) % 1024
+            } else {
+                1 + (r >> 8) % 64
+            };
+            ops.push(MirrorOp::Take(size));
+        } else {
+            ops.push(MirrorOp::Release((r >> 8) as usize));
+        }
+    }
+    ops
+}
+
+/// Replays the stream against a fresh mirror, folding every answer into
+/// a checksum: two impls that ever place or free differently cannot end
+/// with the same digest.
+fn replay(cell: &OpCell, ops: &[MirrorOp], mirror: MirrorImpl) -> (FreeSpace, u64) {
+    let mut space = FreeSpace::with_impl(mirror);
+    let mut cursor = Addr::ZERO;
+    let mut taken: Vec<(Addr, Size)> = Vec::new();
+    let mut digest = 0u64;
+    for &op in ops {
+        match op {
+            MirrorOp::Take(words) => {
+                let (size, addr) = match cell.mode {
+                    TakeMode::Policy(policy) => {
+                        let size = Size::new(words);
+                        (size, space.take(size, policy))
+                    }
+                    TakeMode::NextFit => {
+                        let size = Size::new(words);
+                        (size, space.take_next_fit(size, &mut cursor))
+                    }
+                    TakeMode::Aligned => {
+                        let pow2 = words.next_power_of_two();
+                        let size = Size::new(pow2);
+                        (size, space.take_aligned(size, pow2))
+                    }
+                };
+                digest = digest.wrapping_mul(31).wrapping_add(addr.get());
+                taken.push((addr, size));
+            }
+            MirrorOp::Release(pick) => {
+                if taken.is_empty() {
+                    continue;
+                }
+                let (addr, size) = taken.swap_remove(pick % taken.len());
+                space.release(addr, size);
+                digest = digest.wrapping_mul(31).wrapping_add(size.get());
+            }
+        }
+    }
+    (space, digest)
+}
+
+/// Asserts two replayed mirrors describe the same free-space state.
+fn assert_states_agree(cell: &OpCell, indexed: &FreeSpace, reference: &FreeSpace) {
+    assert_eq!(indexed.frontier(), reference.frontier(), "{}", cell.name);
+    assert_eq!(indexed.gap_count(), reference.gap_count(), "{}", cell.name);
+    assert_eq!(indexed.gap_words(), reference.gap_words(), "{}", cell.name);
+    assert_eq!(
+        indexed.largest_gap(),
+        reference.largest_gap(),
+        "{}",
+        cell.name
+    );
+    let igaps: Vec<_> = indexed.gaps().collect();
+    let rgaps: Vec<_> = reference.gaps().collect();
+    assert_eq!(igaps, rgaps, "{}: gap structure diverged", cell.name);
+}
+
+/// Best-of-`iters` wall clock around `run`, returning the last value.
+fn timed<T>(iters: u32, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        out = Some(black_box(run()));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+/// One end-to-end `P_F` simulation of `kind` on `mirror`, serialized.
+fn simulate(kind: ManagerKind, params: Params, mirror: MirrorImpl) -> String {
+    sim::Sim::new(params)
+        .adversary(sim::Adversary::PF)
+        .manager(kind)
+        .mirror(mirror)
+        .run()
+        .expect("e2e cell runs")
+        .to_json()
+        .to_string()
+}
+
+/// Value of `--<flag> <path>` style options.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a path");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_alloc.json".into());
+    let iters: u32 = if smoke { 1 } else { 3 };
+    let op_count: usize = if smoke { 40_000 } else { 400_000 };
+    let (e2e_m, e2e_log_n) = if smoke { (1 << 12, 9) } else { (1 << 14, 10) };
+    let threads = parallel::thread_count();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Mirror-op cells: the structures the rebuild replaces, in isolation.
+    let mut op_rows: Vec<Json> = Vec::new();
+    let (mut total_ref_op, mut total_idx_op) = (0.0f64, 0.0f64);
+    for cell in op_cells() {
+        let ops = churn_stream(op_count, 0x5eed_0001);
+        let (ref_secs, (ref_space, ref_digest)) =
+            timed(iters, || replay(&cell, &ops, MirrorImpl::Reference));
+        let (idx_secs, (idx_space, idx_digest)) =
+            timed(iters, || replay(&cell, &ops, MirrorImpl::Indexed));
+        assert_eq!(
+            idx_digest, ref_digest,
+            "{}: mirror answers diverged",
+            cell.name
+        );
+        assert_states_agree(&cell, &idx_space, &ref_space);
+        let speedup = ref_secs / idx_secs;
+        eprintln!(
+            "{:18} {:8} ops  {:7.4}s -> {:7.4}s ({:5.2}x)  {:9.0} ops/s",
+            cell.name,
+            op_count,
+            ref_secs,
+            idx_secs,
+            speedup,
+            op_count as f64 / idx_secs,
+        );
+        total_ref_op += ref_secs;
+        total_idx_op += idx_secs;
+        op_rows.push(Json::object([
+            ("name", Json::from(cell.name)),
+            ("ops", Json::from(op_count as u64)),
+            ("reference_seconds", Json::from(ref_secs)),
+            ("indexed_seconds", Json::from(idx_secs)),
+            ("speedup", Json::from(speedup)),
+            (
+                "indexed_throughput_ops_per_sec",
+                Json::from(op_count as f64 / idx_secs),
+            ),
+            (
+                "reference_throughput_ops_per_sec",
+                Json::from(op_count as f64 / ref_secs),
+            ),
+            ("states_identical", Json::from(true)),
+        ]));
+    }
+
+    // E2e cells: every manager under P_F, mirror swapped, reports pinned.
+    let mut e2e_rows: Vec<Json> = Vec::new();
+    let (mut total_ref_e2e, mut total_idx_e2e) = (0.0f64, 0.0f64);
+    for kind in ManagerKind::ALL {
+        let params = Params::new(e2e_m, e2e_log_n, 20).expect("e2e cell is a valid Params");
+        let (ref_secs, ref_report) = timed(1, || simulate(kind, params, MirrorImpl::Reference));
+        let (idx_secs, idx_report) = timed(1, || simulate(kind, params, MirrorImpl::Indexed));
+        assert_eq!(
+            ref_report, idx_report,
+            "{kind}: SimReports diverged between mirrors"
+        );
+        // Count the placement/free event stream once (observer overhead
+        // excluded from the timed runs; the stream is mirror-invariant).
+        let mut recorder = Recorder::new();
+        sim::Sim::new(params)
+            .adversary(sim::Adversary::PF)
+            .manager(kind)
+            .observe(&mut recorder)
+            .run()
+            .expect("observed run matches the timed runs");
+        let events = recorder.len() as u64;
+        let speedup = ref_secs / idx_secs;
+        eprintln!(
+            "e2e/{:16} {:8} events  {:7.4}s -> {:7.4}s ({:5.2}x)",
+            kind.to_string(),
+            events,
+            ref_secs,
+            idx_secs,
+            speedup,
+        );
+        total_ref_e2e += ref_secs;
+        total_idx_e2e += idx_secs;
+        e2e_rows.push(Json::object([
+            ("name", Json::from(format!("e2e/{kind}").as_str())),
+            ("events", Json::from(events)),
+            ("reference_e2e_seconds", Json::from(ref_secs)),
+            ("indexed_e2e_seconds", Json::from(idx_secs)),
+            ("e2e_speedup", Json::from(speedup)),
+            (
+                "indexed_throughput_events_per_sec",
+                Json::from(events as f64 / idx_secs),
+            ),
+            (
+                "reference_throughput_events_per_sec",
+                Json::from(events as f64 / ref_secs),
+            ),
+            ("reports_identical", Json::from(true)),
+        ]));
+    }
+
+    let overall_op = total_ref_op / total_idx_op;
+    let overall_e2e = total_ref_e2e / total_idx_e2e;
+    let report = Json::object([
+        ("smoke", Json::from(smoke)),
+        ("threads", Json::from(threads)),
+        ("host_cores", Json::from(host_cores)),
+        ("iters_per_cell", Json::from(iters)),
+        ("ops_per_cell", Json::from(op_count as u64)),
+        ("op_cells", Json::Array(op_rows)),
+        ("e2e_cells", Json::Array(e2e_rows)),
+        ("total_reference_op_seconds", Json::from(total_ref_op)),
+        ("total_indexed_op_seconds", Json::from(total_idx_op)),
+        ("overall_op_speedup", Json::from(overall_op)),
+        ("total_reference_e2e_seconds", Json::from(total_ref_e2e)),
+        ("total_indexed_e2e_seconds", Json::from(total_idx_e2e)),
+        ("overall_e2e_speedup", Json::from(overall_e2e)),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write artifact");
+    eprintln!("overall: ops {overall_op:.2}x, e2e {overall_e2e:.2}x -> {out_path}");
+}

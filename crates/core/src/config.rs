@@ -14,6 +14,7 @@
 
 use core::fmt;
 
+use pcb_alloc::MirrorImpl;
 use pcb_chaos::FaultPlan;
 use pcb_heap::Substrate;
 
@@ -30,6 +31,10 @@ pub struct RunConfig {
     pub threads: usize,
     /// Occupancy substrate for every heap the run creates.
     pub substrate: Substrate,
+    /// Manager-mirror implementation for every manager the run builds
+    /// (the manager-side analogue of the substrate knob; reports are
+    /// byte-identical across impls).
+    pub mirror: MirrorImpl,
     /// Whether telemetry span collection is on.
     pub telemetry: bool,
     /// Deterministic fault schedule threaded into every execution the
@@ -47,12 +52,14 @@ pub struct RunConfig {
 impl RunConfig {
     /// Resolves the configuration from the environment: `PCB_THREADS`
     /// (falling back to the machine's available parallelism),
-    /// `PCB_SUBSTRATE` (falling back to the bitmap substrate), and the
+    /// `PCB_SUBSTRATE` (falling back to the bitmap substrate),
+    /// `PCB_MIRROR` (falling back to the indexed mirror), and the
     /// current telemetry state.
     pub fn from_env() -> Self {
         RunConfig {
             threads: crate::parallel::thread_count(),
             substrate: Substrate::from_env(),
+            mirror: MirrorImpl::from_env(),
             telemetry: pcb_telemetry::enabled(),
             chaos: FaultPlan::empty(),
             paranoia: 0,
@@ -69,6 +76,12 @@ impl RunConfig {
     /// Overrides the substrate.
     pub fn with_substrate(mut self, substrate: Substrate) -> Self {
         self.substrate = substrate;
+        self
+    }
+
+    /// Overrides the manager-mirror implementation.
+    pub fn with_mirror(mut self, mirror: MirrorImpl) -> Self {
+        self.mirror = mirror;
         self
     }
 
@@ -121,6 +134,7 @@ impl Default for RunConfig {
         RunConfig {
             threads: 1,
             substrate: Substrate::default(),
+            mirror: MirrorImpl::default(),
             telemetry: false,
             chaos: FaultPlan::empty(),
             paranoia: 0,
@@ -138,8 +152,11 @@ impl fmt::Display for RunConfig {
             self.substrate,
             if self.telemetry { "on" } else { "off" }
         )?;
-        // The chaos and metrics knobs print only when set, so the common
-        // display stays exactly as it always was.
+        // The mirror, chaos and metrics knobs print only when set, so the
+        // common display stays exactly as it always was.
+        if self.mirror != MirrorImpl::default() {
+            write!(f, " mirror={}", self.mirror)?;
+        }
         if !self.chaos.is_empty() {
             write!(f, " chaos={}", self.chaos)?;
         }
@@ -188,6 +205,15 @@ mod tests {
     fn display_is_compact() {
         let cfg = RunConfig::default();
         assert_eq!(cfg.to_string(), "threads=1 substrate=bitmap telemetry=off");
+    }
+
+    #[test]
+    fn display_names_the_mirror_knob_only_when_non_default() {
+        let cfg = RunConfig::default().with_mirror(MirrorImpl::Reference);
+        assert_eq!(
+            cfg.to_string(),
+            "threads=1 substrate=bitmap telemetry=off mirror=reference"
+        );
     }
 
     #[test]

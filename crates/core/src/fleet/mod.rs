@@ -749,6 +749,7 @@ fn truncate_detail(mut message: String) -> String {
 /// a poisoned fleet fails identically for any thread count.
 fn run_tenant(
     mixer: &WorkloadMixer,
+    bucket_params: &[Result<Params, String>],
     manager: ManagerKind,
     run: &RunConfig,
     index: u64,
@@ -756,10 +757,18 @@ fn run_tenant(
     let spec = mixer.tenant(index);
     let shape = mixer.shape(&spec);
     let family = mixer.family(&spec);
-    let params = Params::new(shape.m, shape.log_n, shape.c)
+    // (M, log n, c) is a pure function of the size bucket, so the params
+    // were derived once per bucket in `drive` instead of once per tenant.
+    let params = *bucket_params[spec.size_rank]
+        .as_ref()
         .map_err(|e| FleetError::Config(format!("tenant {index}: {e}")))?;
+    debug_assert_eq!(
+        (params.m(), params.log_n(), params.c()),
+        (shape.m, shape.log_n, shape.c),
+        "bucket params must match the tenant's shape"
+    );
     let built = manager
-        .try_build(&params)
+        .try_build_with(&params, run.mirror)
         .map_err(|e| FleetError::Config(format!("tenant {index}: {e}")))?;
     let heap = if manager.is_unbounded() {
         Heap::unlimited_compaction()
@@ -880,11 +889,13 @@ fn drive(
     let kinds = mixer.kinds();
     let size_buckets = mixer.size_buckets();
 
-    // The Theorem 1 curve at each bucket's (M, log n, c) — the reference
-    // the measured per-bucket means are attributed against. Uses the
-    // mixer's per-tenant log_n clamp so the evaluated parameters are
-    // exactly the ones the bucket's tenants ran with.
-    let bucket_thm1: Vec<f64> = (0..size_buckets)
+    // Per-bucket parameters, derived once: a tenant's (M, log n, c) is a
+    // pure function of its size bucket (the mixer's per-tenant log_n
+    // clamp is reproduced here), so the shards share these instead of
+    // re-deriving and re-validating them for every tenant. An invalid
+    // bucket stays lazy — it fails the fleet only when a tenant actually
+    // lands in it, exactly as the per-tenant derivation did.
+    let bucket_params: Vec<Result<Params, String>> = (0..size_buckets)
         .map(|rank| {
             let m = mixer.bucket_m(rank);
             let log_n = cfg
@@ -892,10 +903,15 @@ fn drive(
                 .log_n
                 .min((m.trailing_zeros()).saturating_sub(1))
                 .max(1);
-            Params::new(m, log_n, cfg.mixer.c)
-                .map(bounds::thm1::factor)
-                .unwrap_or(0.0)
+            Params::new(m, log_n, cfg.mixer.c).map_err(|e| e.to_string())
         })
+        .collect();
+
+    // The Theorem 1 curve at each bucket's (M, log n, c) — the reference
+    // the measured per-bucket means are attributed against.
+    let bucket_thm1: Vec<f64> = bucket_params
+        .iter()
+        .map(|p| p.as_ref().map(|&p| bounds::thm1::factor(p)).unwrap_or(0.0))
         .collect();
     // Heartbeat reference: the bound at the largest bucket, the same
     // normalization `pcb bench` uses for its fleet cells.
@@ -954,7 +970,8 @@ fn drive(
                 let _span = pcb_telemetry::span!("fleet.shard");
                 let mut acc = FleetAccumulator::new(kinds.len(), size_buckets);
                 for index in lo..hi {
-                    let (spec, outcome) = run_tenant(&mixer, cfg.manager, run, index)?;
+                    let (spec, outcome) =
+                        run_tenant(&mixer, &bucket_params, cfg.manager, run, index)?;
                     match outcome {
                         Ok(summary) => {
                             acc.record(&spec, &summary);

@@ -93,7 +93,7 @@ pub use pcb_workload as workload;
 
 // The most-used types, flattened for convenience.
 pub use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
-pub use pcb_alloc::ManagerKind;
+pub use pcb_alloc::{ManagerKind, MirrorImpl};
 pub use pcb_chaos::{FaultPlan, FaultSite};
 pub use pcb_heap::{
     Execution, Heap, Observer, Observers, Recorder, Report, Size, StatSink, Substrate, TimeSeries,

@@ -9,7 +9,7 @@
 use core::fmt;
 
 use pcb_adversary::{PfConfig, PfProgram, PfVariant, RobsonProgram};
-use pcb_alloc::ManagerKind;
+use pcb_alloc::{ManagerKind, MirrorImpl};
 use pcb_chaos::FaultPlan;
 use pcb_heap::{
     Execution, ExecutionError, Heap, MemoryManager, Observer, Observers, Program, StatSink,
@@ -150,6 +150,7 @@ pub struct Sim<'a> {
     series_every: Option<u32>,
     stats: bool,
     substrate: Option<Substrate>,
+    mirror: Option<MirrorImpl>,
     chaos: FaultPlan,
     paranoia: u32,
 }
@@ -165,6 +166,7 @@ impl fmt::Debug for Sim<'_> {
             .field("series_every", &self.series_every)
             .field("stats", &self.stats)
             .field("substrate", &self.substrate)
+            .field("mirror", &self.mirror)
             .field("chaos", &self.chaos)
             .field("paranoia", &self.paranoia)
             .finish()
@@ -185,6 +187,7 @@ impl<'a> Sim<'a> {
             series_every: None,
             stats: false,
             substrate: None,
+            mirror: None,
             chaos: FaultPlan::empty(),
             paranoia: 0,
         }
@@ -239,6 +242,15 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Pins the manager-mirror implementation for this run (otherwise
+    /// the `PCB_MIRROR` environment default applies). Both impls produce
+    /// identical reports; `MirrorImpl::Reference` cross-checks a run
+    /// against the seed BTree mirror.
+    pub fn mirror(mut self, mirror: MirrorImpl) -> Self {
+        self.mirror = Some(mirror);
+        self
+    }
+
     /// Attaches a deterministic fault schedule to the execution. The
     /// empty plan (the default) injects nothing at zero cost.
     pub fn chaos(mut self, plan: FaultPlan) -> Self {
@@ -254,10 +266,12 @@ impl<'a> Sim<'a> {
     }
 
     /// Applies a resolved [`RunConfig`](crate::RunConfig): pins the
-    /// substrate and carries over the chaos/paranoia knobs (a `Sim` runs
-    /// on one thread, so the config's thread count does not apply here).
+    /// substrate and mirror and carries over the chaos/paranoia knobs (a
+    /// `Sim` runs on one thread, so the config's thread count does not
+    /// apply here).
     pub fn config(self, run: &crate::RunConfig) -> Self {
         self.substrate(run.substrate)
+            .mirror(run.mirror)
             .chaos(run.chaos)
             .paranoia(run.paranoia)
     }
@@ -302,12 +316,18 @@ impl<'a> Sim<'a> {
             series_every,
             stats,
             substrate,
+            mirror,
             chaos,
             paranoia,
         } = self;
         let pin = |heap: Heap| match substrate {
             Some(s) => heap.with_substrate(s),
             None => heap,
+        };
+        let mirror = mirror.unwrap_or_else(MirrorImpl::from_env);
+        let build = |manager: ManagerKind| match manager.try_build_with(&params, mirror) {
+            Ok(built) => built,
+            Err(e) => panic!("{e}"),
         };
         match adversary {
             Adversary::Pf(variant) => {
@@ -324,7 +344,7 @@ impl<'a> Sim<'a> {
                 } else {
                     Heap::new(params.c())
                 });
-                let mut exec = Execution::new(heap, PfProgram::new(cfg), manager.build(&params))
+                let mut exec = Execution::new(heap, PfProgram::new(cfg), build(manager))
                     .with_chaos(chaos)
                     .with_paranoia(paranoia);
                 if stats {
@@ -368,7 +388,7 @@ impl<'a> Sim<'a> {
                 } else {
                     Heap::non_moving()
                 });
-                let mut exec = Execution::new(heap, program, manager.build(&params))
+                let mut exec = Execution::new(heap, program, build(manager))
                     .with_chaos(chaos)
                     .with_paranoia(paranoia);
                 if stats {

@@ -1,0 +1,87 @@
+//! The manager-mirror implementation must be invisible in the results:
+//! every simulation cell and every fleet run on the indexed mirror and on
+//! the seed BTree reference must serialize to byte-identical reports, at
+//! every worker-thread count and on both occupancy substrates.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the
+//! process-wide `PCB_THREADS` variable, and cargo runs test binaries one
+//! at a time, so a lone test is the race-free way to flip the knob.
+
+use partial_compaction::{
+    fleet, parallel, sim, ManagerKind, MirrorImpl, Params, RunConfig, Substrate,
+};
+use pcb_json::ToJson;
+
+fn with_threads<T>(threads: &str, run: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("PCB_THREADS").ok();
+    std::env::set_var("PCB_THREADS", threads);
+    let out = run();
+    match saved {
+        Some(v) => std::env::set_var("PCB_THREADS", v),
+        None => std::env::remove_var("PCB_THREADS"),
+    }
+    out
+}
+
+fn sim_grid(mirror: MirrorImpl, substrate: Substrate) -> String {
+    let params = Params::new(1 << 13, 9, 20).expect("valid");
+    let cells: Vec<(ManagerKind, sim::Adversary)> = ManagerKind::ALL
+        .iter()
+        .flat_map(|&kind| [(kind, sim::Adversary::PF), (kind, sim::Adversary::Robson)])
+        .collect();
+    let reports = parallel::par_map(&cells, |&(kind, adversary)| {
+        sim::Sim::new(params)
+            .adversary(adversary)
+            .manager(kind)
+            .mirror(mirror)
+            .substrate(substrate)
+            .stats(true)
+            .run()
+            .expect("cell runs")
+            .to_json()
+            .to_string()
+    });
+    reports.join("\n")
+}
+
+fn fleet_run(mirror: MirrorImpl, substrate: Substrate, threads: usize) -> String {
+    let cfg = fleet::FleetConfig {
+        tenants: 48,
+        shards: 6,
+        ..fleet::FleetConfig::default()
+    };
+    let run = RunConfig::default()
+        .with_threads(threads)
+        .with_mirror(mirror)
+        .with_substrate(substrate);
+    fleet::run(&cfg, &run)
+        .expect("fleet runs")
+        .to_json()
+        .to_string()
+}
+
+#[test]
+fn mirrors_produce_identical_reports() {
+    let sim_baseline = with_threads("1", || {
+        sim_grid(MirrorImpl::Reference, Substrate::Reference)
+    });
+    let fleet_baseline = fleet_run(MirrorImpl::Reference, Substrate::Reference, 1);
+    for threads in ["1", "2", "4"] {
+        for mirror in MirrorImpl::ALL {
+            for substrate in Substrate::ALL {
+                let run = with_threads(threads, || sim_grid(mirror, substrate));
+                assert_eq!(
+                    sim_baseline, run,
+                    "SimReports diverged: mirror={mirror} substrate={substrate} \
+                     PCB_THREADS={threads}"
+                );
+                let n: usize = threads.parse().unwrap();
+                let fleet = fleet_run(mirror, substrate, n);
+                assert_eq!(
+                    fleet_baseline, fleet,
+                    "FleetReports diverged: mirror={mirror} substrate={substrate} threads={n}"
+                );
+            }
+        }
+    }
+}

@@ -475,7 +475,9 @@ impl<P: Program, M: MemoryManager> Execution<P, M> {
             REUSED.record_max(c.slots_reused);
         }
         // Manager-side counters collected this run share the same
-        // exposition path.
+        // exposition path, as do the manager's own index high-water
+        // marks (the `manager.*` series).
+        self.manager.publish_metrics();
         if let Some(sink) = &self.stats {
             sink.publish();
         }

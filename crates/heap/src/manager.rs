@@ -255,6 +255,12 @@ pub trait MemoryManager {
     fn internal_waste(&self) -> u64 {
         0
     }
+
+    /// Publishes the manager's index counters and high-water marks into
+    /// the `pcb-metrics` plane (the `manager.*` series). The engine calls
+    /// this once per run while the metrics registry is enabled. Default:
+    /// nothing — managers without instrumented mirrors publish no series.
+    fn publish_metrics(&self) {}
 }
 
 /// Boxed-manager forwarding so `Box<dyn MemoryManager>` is itself a manager
@@ -294,6 +300,10 @@ impl MemoryManager for Box<dyn MemoryManager> {
 
     fn internal_waste(&self) -> u64 {
         (**self).internal_waste()
+    }
+
+    fn publish_metrics(&self) {
+        (**self).publish_metrics()
     }
 }
 

@@ -68,6 +68,7 @@ impl ChurnConfig {
 #[derive(Debug)]
 pub struct ChurnWorkload {
     cfg: ChurnConfig,
+    sampler: crate::dist::SizeSampler,
     rng: StdRng,
     round: u32,
     /// Live objects in allocation order (youngest last).
@@ -90,6 +91,7 @@ impl ChurnWorkload {
         assert!(cfg.m >= 1 << cfg.log_n, "M must hold the largest object");
         ChurnWorkload {
             rng: StdRng::seed_from_u64(cfg.seed),
+            sampler: cfg.dist.sampler(cfg.log_n),
             cfg,
             round: 0,
             live: Vec::new(),
@@ -131,7 +133,7 @@ impl Program for ChurnWorkload {
         // Plan the batch first, then free enough to fit it under the
         // target occupancy.
         self.planned = (0..self.cfg.allocs_per_round)
-            .map(|_| self.cfg.dist.sample(&mut self.rng, self.cfg.log_n))
+            .map(|_| self.sampler.sample(&mut self.rng))
             .collect();
         let batch: u64 = self.planned.iter().map(|s| s.get()).sum();
         let target = (self.cfg.m as f64 * self.cfg.target_live) as u64;

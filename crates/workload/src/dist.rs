@@ -44,20 +44,30 @@ impl SizeDist {
     /// Panics if the distribution's parameters exceed `n` or are
     /// degenerate (e.g. `Fixed(0)`).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, log_n: u32) -> Size {
+        self.sampler(log_n).sample(rng)
+    }
+
+    /// Binds the distribution to a size bound, validating parameters and
+    /// precomputing the per-draw constants (the geometric denominator is
+    /// one `ln` — per object, it dominates the draw). Sampling through
+    /// the result is byte-identical to [`sample`](Self::sample) in a
+    /// loop; hot mutators should build the sampler once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate parameters as
+    /// [`sample`](Self::sample).
+    pub fn sampler(self, log_n: u32) -> SizeSampler {
         let n = 1u64 << log_n;
-        let raw = match *self {
+        let ln_q = match self {
             SizeDist::Fixed(s) => {
                 assert!(s >= 1 && s <= n, "fixed size {s} out of [1, {n}]");
-                s
+                0.0
             }
-            SizeDist::Uniform => rng.gen_range(1..=n),
             SizeDist::Geometric(p) => {
                 assert!(p > 0.0 && p < 1.0, "geometric p out of (0,1)");
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let s = (u.ln() / (1.0 - p).ln()).floor() as u64 + 1;
-                s.min(n)
+                (1.0 - p).ln()
             }
-            SizeDist::PowersOfTwo => 1 << rng.gen_range(0..=log_n),
             SizeDist::Bimodal {
                 small,
                 large,
@@ -65,14 +75,16 @@ impl SizeDist {
             } => {
                 assert!(small >= 1 && large <= n && small <= large);
                 assert!((0.0..=1.0).contains(&p_large));
-                if rng.gen_bool(p_large) {
-                    large
-                } else {
-                    small
-                }
+                0.0
             }
+            SizeDist::Uniform | SizeDist::PowersOfTwo => 0.0,
         };
-        Size::new(raw)
+        SizeSampler {
+            dist: self,
+            log_n,
+            n,
+            ln_q,
+        }
     }
 
     /// Short name for reports.
@@ -84,6 +96,50 @@ impl SizeDist {
             SizeDist::PowersOfTwo => "pow2",
             SizeDist::Bimodal { .. } => "bimodal",
         }
+    }
+}
+
+/// A [`SizeDist`] bound to its size limit with per-draw constants
+/// precomputed — build once via [`SizeDist::sampler`], draw per object.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeSampler {
+    dist: SizeDist,
+    log_n: u32,
+    n: u64,
+    ln_q: f64,
+}
+
+impl SizeSampler {
+    /// Draws a size in `[1, n]`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Size {
+        let raw = match self.dist {
+            SizeDist::Fixed(s) => s,
+            SizeDist::Uniform => rng.gen_range(1..=self.n),
+            SizeDist::Geometric(_) => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let s = (u.ln() / self.ln_q).floor() as u64 + 1;
+                s.min(self.n)
+            }
+            SizeDist::PowersOfTwo => 1 << rng.gen_range(0..=self.log_n),
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => {
+                if rng.gen_bool(p_large) {
+                    large
+                } else {
+                    small
+                }
+            }
+        };
+        Size::new(raw)
+    }
+
+    /// Short name for reports (same as the underlying distribution's).
+    pub fn name(&self) -> &'static str {
+        self.dist.name()
     }
 }
 

@@ -43,7 +43,7 @@ mod replay;
 mod tenant;
 
 pub use churn::{ChurnConfig, ChurnWorkload, Lifetime};
-pub use dist::SizeDist;
+pub use dist::{SizeDist, SizeSampler};
 pub use mixer::{tenant_rng, MixWeights, MixerConfig, TenantSpec, WorkloadMixer};
 pub use panic_inject::{PanicProgram, PANIC_MESSAGE_PREFIX};
 pub use ramp::{RampConfig, RampWorkload};

@@ -69,6 +69,7 @@ impl RampConfig {
 #[derive(Debug)]
 pub struct RampWorkload {
     cfg: RampConfig,
+    sampler: crate::dist::SizeSampler,
     rng: StdRng,
     phase: u32,
     scale: u64,
@@ -86,6 +87,7 @@ impl RampWorkload {
         assert!((0.0..1.0).contains(&cfg.survivor_fraction));
         RampWorkload {
             rng: StdRng::seed_from_u64(cfg.seed),
+            sampler: cfg.dist.sampler(cfg.log_n),
             cfg,
             phase: 0,
             scale: 1,
@@ -95,7 +97,7 @@ impl RampWorkload {
     }
 
     fn sample(&mut self) -> Size {
-        let base = self.cfg.dist.sample(&mut self.rng, self.cfg.log_n);
+        let base = self.sampler.sample(&mut self.rng);
         let scaled = (base.get() * self.scale).min(1 << self.cfg.log_n);
         Size::new(scaled)
     }

@@ -130,7 +130,7 @@ impl ReplayTenant {
     /// Synthesizes the session trace for one tenant shape.
     pub fn synthesize(shape: &TenantShape) -> Trace {
         let mut rng = StdRng::seed_from_u64(shape.seed);
-        let dist = SizeDist::Geometric(0.25);
+        let dist = SizeDist::Geometric(0.25).sampler(shape.log_n);
         let mut trace = Trace::new(u64::MAX);
         let mut next_id = 0u64;
         let mut live: Vec<(u64, u64)> = Vec::new();
@@ -150,7 +150,7 @@ impl ReplayTenant {
                 }
             }
             for _ in 0..shape.allocs_per_round {
-                let size = dist.sample(&mut rng, shape.log_n).get();
+                let size = dist.sample(&mut rng).get();
                 if live_words + size > shape.m {
                     continue;
                 }

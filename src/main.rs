@@ -25,6 +25,8 @@
 //! --profile                                    print the span profile table
 //! --substrate bitmap|reference                 occupancy substrate (cross-
 //!                                              check against the oracle)
+//! --mirror indexed|reference                   manager-mirror impl (cross-
+//!                                              check against the seed)
 //! --progress[=secs]                            heartbeat on stderr
 //! --progress-out <file.jsonl>                  heartbeat JSONL stream
 //! --metrics                                    collect the metric plane
@@ -105,7 +107,7 @@ usage:
                [--manager <name>] [--m <words>] [--log-n <k>] [--c <c>]
                [--rounds <k>] [--allocs <k>] [--map] [--validate]
                [--series <file>] [--every <k>] [--stats]
-               [--substrate bitmap|reference]
+               [--substrate bitmap|reference] [--mirror indexed|reference]
                [--chaos <spec>] [--paranoia <k>]
                [--progress[=secs]] [--progress-out <file.jsonl>]
                [--metrics] [--metrics-out <file>]
@@ -115,7 +117,8 @@ usage:
             [--seed <s>] [--m-min <words>] [--m-max <words>]
             [--theta <zipf>] [--rounds <k>] [--allocs <k>]
             [--mix churn,ramp,replay,adversary] [--c <c>]
-            [--threads <n>] [--substrate bitmap|reference] [--json]
+            [--threads <n>] [--substrate bitmap|reference]
+            [--mirror indexed|reference] [--json]
             [--chaos <spec>] [--paranoia <k>]
             [--checkpoint <file>] [--checkpoint-every <shards>]
             [--resume] [--stop-after <shards>]
@@ -297,6 +300,7 @@ struct SimOpts {
     trace_out: Option<String>,
     profile: bool,
     substrate: Option<Substrate>,
+    mirror: Option<partial_compaction::MirrorImpl>,
     rounds: Option<u32>,
     allocs: Option<usize>,
     chaos: Option<partial_compaction::FaultPlan>,
@@ -321,6 +325,7 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
         trace_out: None,
         profile: false,
         substrate: None,
+        mirror: None,
         rounds: None,
         allocs: None,
         chaos: None,
@@ -370,6 +375,12 @@ fn parse_opts(args: &[String]) -> Result<SimOpts, String> {
                 opts.substrate =
                     Some(value("--substrate")?.parse().map_err(
                         |e: partial_compaction::heap::ParseSubstrateError| e.to_string(),
+                    )?)
+            }
+            "--mirror" => {
+                opts.mirror =
+                    Some(value("--mirror")?.parse().map_err(
+                        |e: partial_compaction::alloc::ParseMirrorImplError| e.to_string(),
                     )?)
             }
             "--rounds" => {
@@ -443,6 +454,9 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     if let Some(substrate) = opts.substrate {
         run = run.with_substrate(substrate);
     }
+    if let Some(mirror) = opts.mirror {
+        run = run.with_mirror(mirror);
+    }
     if let Some(chaos) = opts.chaos {
         run = run.with_chaos(chaos);
     }
@@ -469,7 +483,10 @@ fn cmd_simulate(args: &[String], record_to: Option<String>) -> Result<(), String
     };
     // try_build: a parameter combination the manager cannot serve is a
     // clean CLI error, not a panic.
-    let manager = opts.manager.try_build(&params).map_err(|e| e.to_string())?;
+    let manager = opts
+        .manager
+        .try_build_with(&params, run.mirror)
+        .map_err(|e| e.to_string())?;
 
     let program: Box<dyn Program> = match opts.program.as_str() {
         "pf" | "pf-baseline" => {
@@ -728,6 +745,12 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
                 run =
                     run.with_substrate(value("--substrate")?.parse().map_err(
                         |e: partial_compaction::heap::ParseSubstrateError| e.to_string(),
+                    )?)
+            }
+            "--mirror" => {
+                run =
+                    run.with_mirror(value("--mirror")?.parse().map_err(
+                        |e: partial_compaction::alloc::ParseMirrorImplError| e.to_string(),
                     )?)
             }
             "--chaos" => {
